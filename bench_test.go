@@ -1,0 +1,403 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§11). Each benchmark prints the corresponding
+// rows; EXPERIMENTS.md records paper-vs-measured values.
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/nova"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2: AMPL-style model instantiation (model + data -> equations).
+
+func BenchmarkFig2ModelInstantiation(b *testing.B) {
+	T := []string{"t1", "t2"}
+	R := []string{"r1", "r2", "r3"}
+	cost := map[string]float64{"t1": 3, "t2": 3}
+	for i := 0; i < b.N; i++ {
+		m := model.New()
+		for _, t := range T {
+			e := model.NewExpr()
+			for _, r := range R {
+				e.Add(1, m.Binary("x", t, r))
+			}
+			m.Eq("row", e, cost[t])
+		}
+		if st := m.Stats(); st.Vars != 6 || st.Constraints != 2 {
+			b.Fatalf("bad instantiation: %+v", st)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the sample program's model, built and solved to optimality.
+
+const fig3Source = `
+fun main() {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f, g, h, i, j) = sram[6](200);
+  let u = a + c;
+  let v = g + h;
+  sram(300) <- (b, e, v, u);
+  sram(500) <- (f, j, d, i);
+}`
+
+func BenchmarkFig3ModelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		comp, err := nova.Compile("fig3.nova", fig3Source, nova.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if comp.Alloc.Spills != 0 {
+			b.Fatalf("figure 3 must not spill")
+		}
+	}
+	comp, _ := nova.Compile("fig3.nova", fig3Source, nova.DefaultOptions())
+	b.ReportMetric(float64(comp.Alloc.ModelStats.Vars), "model-vars")
+	b.ReportMetric(float64(comp.Alloc.NumMoves()), "moves")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: static benchmark program statistics.
+
+func BenchmarkFig5StaticStats(b *testing.B) {
+	rows := make([]string, 0, 4)
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		rows = append(rows, fmt.Sprintf("%-8s %6s %8s %6s %8s %6s %7s",
+			"", "Nova", "layouts", "pack", "unpack", "raise", "handle"))
+		for _, w := range workloadTable {
+			opts := nova.DefaultOptions()
+			opts.SkipAsm = true
+			// Static stats come from the front end only; stop before
+			// the ILP by asking for a tiny node budget is unnecessary —
+			// we only need parse data, so use the facade's stats on a
+			// full front-end pass via a cheap trick: parse-only.
+			st, err := staticOnly(w.name+".nova", w.src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf("%-8s %6d %8d %6d %8d %6d %7d",
+				w.name, st.Lines, st.Layouts, st.Packs, st.Unpacks, st.Raises, st.Handles))
+		}
+	}
+	b.StopTimer()
+	b.Logf("Figure 5 — static benchmark program statistics:\n%s", join(rows))
+}
+
+func staticOnly(name, src string) (nova.StaticStats, error) {
+	return nova.StaticStatsOf(name, src)
+}
+
+func join(rows []string) string {
+	out := ""
+	for _, r := range rows {
+		out += r + "\n"
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: AMPL statistics — temps participating in aggregate
+// definitions and uses.
+
+func BenchmarkFig6AMPLStats(b *testing.B) {
+	var rows []string
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		rows = append(rows, fmt.Sprintf("%-8s %6s %6s %8s %6s %6s %8s",
+			"", "DefL", "DefLD", "DefTotal", "UseS", "UseSD", "UseTotal"))
+		for _, w := range workloadTable {
+			comp := compileWorkload(b, w)
+			st := comp.Alloc.AggregateStats()
+			rows = append(rows, fmt.Sprintf("%-8s %6d %6d %8d %6d %6d %8d",
+				w.name, st.DefL, st.DefLD, st.DefL+st.DefLD, st.UseS, st.UseSD, st.UseS+st.UseSD))
+		}
+	}
+	b.StopTimer()
+	b.Logf("Figure 6 — AMPL coloring statistics:\n%s", join(rows))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: solver statistics — root and integer solve times, model
+// size, moves and spills.
+
+func BenchmarkFig7Solver(b *testing.B) {
+	var rows []string
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		rows = append(rows, fmt.Sprintf("%-8s %10s %10s %10s %12s %10s %7s %7s",
+			"", "root(s)", "integer(s)", "vars", "constraints", "obj-terms", "moves", "spills"))
+		for _, w := range workloadTable {
+			comp := compileWorkload(b, w)
+			root, total := comp.Alloc.SolveTimes()
+			st := comp.Alloc.ModelStats
+			rows = append(rows, fmt.Sprintf("%-8s %10.2f %10.2f %10d %12d %10d %7d %7d",
+				w.name, root.Seconds(), total.Seconds(),
+				st.Vars, st.Constraints, st.ObjTerms,
+				comp.Alloc.NumMoves(), comp.Alloc.Spills))
+		}
+	}
+	b.StopTimer()
+	b.Logf("Figure 7 — solver statistics:\n%s", join(rows))
+}
+
+// ---------------------------------------------------------------------------
+// §11 throughput: compiled workloads on the simulated 233 MHz engine.
+
+func benchThroughput(b *testing.B, w workload, payloads []int) {
+	comp := compileWorkload(b, w)
+	const threads = 4
+	clockHz := newMachine(1).Cfg.ClockMHz * 1e6
+	for _, payload := range payloads {
+		b.Run(fmt.Sprintf("payload=%dB", payload), func(b *testing.B) {
+			var mbpsEngine, mbpsChip float64
+			for i := 0; i < b.N; i++ {
+				cycles := runWorkloadBatch(b, comp, w, threads, payload)
+				bits := float64(threads * payload * 8)
+				mbpsEngine = bits / (float64(cycles) / clockHz) / 1e6
+				// Full 6-engine chip with shared-port contention.
+				chipCycles := runWorkloadChip(b, comp, w, 6, threads, payload)
+				chipBits := float64(6 * threads * payload * 8)
+				mbpsChip = chipBits / (float64(chipCycles) / clockHz) / 1e6
+			}
+			b.ReportMetric(mbpsEngine, "Mbps/engine")
+			b.ReportMetric(mbpsChip, "Mbps/chip")
+		})
+	}
+}
+
+func BenchmarkThroughputAES(b *testing.B) {
+	benchThroughput(b, workloadTable[0], []int{16, 64, 256})
+}
+
+func BenchmarkThroughputKasumi(b *testing.B) {
+	benchThroughput(b, workloadTable[1], []int{8, 16, 256})
+}
+
+func BenchmarkThroughputNAT(b *testing.B) {
+	benchThroughput(b, workloadTable[2], []int{64, 256})
+}
+
+// ---------------------------------------------------------------------------
+// §11: the alternative "are spills required at all" objective solves a
+// much smaller program (the paper reports 9 s for AES, 19.2 s for NAT).
+
+func BenchmarkSpillFeasibilityObjective(b *testing.B) {
+	for _, w := range []workload{workloadTable[0], workloadTable[2]} {
+		b.Run(w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.SkipAsm = true
+				opts.Alloc.NoSpill = true
+				// Feasibility, not optimality: accept the first
+				// incumbent.
+				opts.MIP = &mip.Options{Gap: 0.99, Time: 3 * time.Minute}
+				comp, err := nova.Compile(w.name+".nova", w.src, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if comp.Alloc.Spills != 0 {
+					b.Fatal("NoSpill model produced spills")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (§7, §8, §9 engineering claims).
+
+// BenchmarkAblationBankPruning: §8's static analysis dramatically
+// shrinks the generated programs.
+func BenchmarkAblationBankPruning(b *testing.B) {
+	for _, prune := range []bool{true, false} {
+		b.Run(fmt.Sprintf("prune=%v", prune), func(b *testing.B) {
+			var vars, cons int
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.Prune = prune
+				comp, err := nova.Compile("fig3.nova", fig3Source, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vars = comp.Alloc.ModelStats.Vars
+				cons = comp.Alloc.ModelStats.Constraints
+			}
+			b.ReportMetric(float64(vars), "model-vars")
+			b.ReportMetric(float64(cons), "model-constraints")
+		})
+	}
+}
+
+// BenchmarkAblationRedundantAggregate: §9's extra cuts speed up the
+// solver.
+func BenchmarkAblationRedundantAggregate(b *testing.B) {
+	for _, cuts := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cuts=%v", cuts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.RedundantAggregate = cuts
+				if _, err := nova.Compile("fig3.nova", fig3Source, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBias: §7's A-over-B bias speeds up the solver.
+func BenchmarkAblationBias(b *testing.B) {
+	for _, bias := range []bool{true, false} {
+		b.Run(fmt.Sprintf("bias=%v", bias), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.BiasAB = bias
+				if _, err := nova.Compile("fig3.nova", fig3Source, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpillTighten: §9's needsSpill upper bound.
+func BenchmarkAblationSpillTighten(b *testing.B) {
+	src := `
+fun main() -> word {
+  let (a0, a1, a2, a3, a4, a5, a6, a7) = sram[8](0);
+  let (b0, b1, b2, b3, b4, b5, b6, b7) = sram[8](8);
+  let s0 = a0 + b0; let s1 = a1 + b1; let s2 = a2 + b2; let s3 = a3 + b3;
+  let s4 = a4 + b4; let s5 = a5 + b5; let s6 = a6 + b6; let s7 = a7 + b7;
+  sram(16) <- (s0, s1, s2, s3, s4, s5, s6, s7);
+  s0 + s7
+}`
+	for _, tighten := range []bool{true, false} {
+		b.Run(fmt.Sprintf("tighten=%v", tighten), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.TightenSpill = tighten
+				if _, err := nova.Compile("pressure.nova", src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCoarsening: per-point (paper-exact) moves vs
+// event-point coarsening.
+func BenchmarkAblationCoarsening(b *testing.B) {
+	src := `
+fun main() -> word {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f) = sram[2](200);
+  let u = a + c;
+  sram(300) <- (b, e, u);
+  u + f
+}`
+	for _, coarsen := range []bool{true, false} {
+		b.Run(fmt.Sprintf("coarsen=%v", coarsen), func(b *testing.B) {
+			var vars int
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.Coarsen = coarsen
+				comp, err := nova.Compile("c.nova", src, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vars = comp.Alloc.ModelStats.Vars
+			}
+			b.ReportMetric(float64(vars), "model-vars")
+		})
+	}
+}
+
+// BenchmarkAblationRemat: §12's virtual constant bank C.
+func BenchmarkAblationRemat(b *testing.B) {
+	src := `
+fun main(x: word) -> word {
+  let k = 0x12345678;
+  let (a0, a1, a2, a3, a4, a5, a6, a7) = sram[8](0);
+  let s = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+  s + k + x
+}`
+	for _, remat := range []bool{false, true} {
+		b.Run(fmt.Sprintf("remat=%v", remat), func(b *testing.B) {
+			var code, remats int
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.Alloc.Remat = remat
+				comp, err := nova.Compile("remat.nova", src, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				code = comp.Asm.CodeWords()
+				remats = comp.Alloc.Remats
+			}
+			b.ReportMetric(float64(code), "code-words")
+			b.ReportMetric(float64(remats), "remats")
+		})
+	}
+}
+
+// BenchmarkChipScaling: AES throughput as micro-engines are added to
+// the chip — the shared SRAM port (all T-tables live in SRAM, as in
+// the paper) bounds the scaling.
+func BenchmarkChipScaling(b *testing.B) {
+	comp := compileWorkload(b, workloadTable[0])
+	clockHz := newMachine(1).Cfg.ClockMHz * 1e6
+	for _, engines := range []int{1, 2, 4, 6} {
+		b.Run(fmt.Sprintf("engines=%d", engines), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				cycles := runWorkloadChip(b, comp, workloadTable[0], engines, 4, 64)
+				bits := float64(engines * 4 * 64 * 8)
+				mbps = bits / (float64(cycles) / clockHz) / 1e6
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(mbps/float64(engines), "Mbps/engine")
+		})
+	}
+}
+
+// BenchmarkLatencyHiding: the multithreading experiment — cycles per
+// packet as hardware threads are added.
+func BenchmarkLatencyHiding(b *testing.B) {
+	comp := compileWorkload(b, workloadTable[0])
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var perPacket float64
+			for i := 0; i < b.N; i++ {
+				cycles := runWorkloadBatch(b, comp, workloadTable[0], threads, 64)
+				perPacket = float64(cycles) / float64(threads)
+			}
+			b.ReportMetric(perPacket, "cycles/packet")
+		})
+	}
+}
+
+// BenchmarkCompile measures whole-pipeline compile times (the paper's
+// claim: short enough for an edit-compile-debug cycle).
+func BenchmarkCompile(b *testing.B) {
+	for _, w := range workloadTable {
+		b.Run(w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := nova.DefaultOptions()
+				opts.MIP = &mip.Options{Time: 4 * time.Minute}
+				if _, err := nova.Compile(w.name+".nova", w.src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Novac is the Nova compiler driver: it runs the full pipeline —
+// parse, type check, CPS conversion, optimization, SSU, instruction
+// selection, ILP register/bank allocation, coloring, and assembly
+// emission — over one .nova file and prints the requested artifacts.
+//
+// Usage:
+//
+//	novac [-entry main] [-print cps|mir|asm] [-stats] [-no-prune]
+//	      [-no-coarsen] [-remat] file.nova
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"repro/internal/ast"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/nova"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry function")
+	print := flag.String("print", "asm", "artifact to print: ast, cps, mir, asm, none")
+	stats := flag.Bool("stats", false, "print per-phase statistics")
+	noPrune := flag.Bool("no-prune", false, "disable §8 bank pruning")
+	noCoarsen := flag.Bool("no-coarsen", false, "use the per-point (paper-exact) move model")
+	remat := flag.Bool("remat", false, "enable the §12 constant bank C")
+	timeout := flag.Duration("solve-timeout", 4*time.Minute, "ILP solve budget")
+	lpOut := flag.String("lp", "", "write the generated integer program to this file (CPLEX LP format)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: novac [flags] file.nova")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := nova.DefaultOptions()
+	opts.Entry = *entry
+	opts.Alloc.Prune = !*noPrune
+	opts.Alloc.Coarsen = !*noCoarsen
+	opts.Alloc.Remat = *remat
+	opts.MIP = &mip.Options{Time: *timeout}
+
+	start := time.Now()
+	comp, err := nova.Compile(path, string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *lpOut != "" {
+		f, err := os.Create(*lpOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := comp.Alloc.WriteLP(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *stats {
+		st := comp.Static
+		fmt.Printf("static: %d lines, %d layouts, %d pack, %d unpack, %d raise, %d handle\n",
+			st.Lines, st.Layouts, st.Packs, st.Unpacks, st.Raises, st.Handles)
+		fmt.Printf("opt: %v\n", comp.OptStats)
+		fmt.Printf("ssu: %d clones inserted\n", comp.SSUStats.Clones)
+		fmt.Printf("mir: %d instructions, %d temporaries\n",
+			comp.MIR.NumInstrs(), comp.MIR.NumTemps())
+		ms := comp.Alloc.ModelStats
+		fmt.Printf("ilp: %d variables, %d constraints, %d objective terms\n",
+			ms.Vars, ms.Constraints, ms.ObjTerms)
+		root, total := comp.Alloc.SolveTimes()
+		fmt.Printf("solve: root %v, integer %v (%v), %d nodes\n",
+			root.Round(time.Millisecond), total.Round(time.Millisecond),
+			comp.Alloc.MIP.Status, comp.Alloc.MIP.Nodes)
+		fmt.Printf("solution: %d moves, %d spills, %d rematerializations, %d coalesced\n",
+			comp.Alloc.NumMoves(), comp.Alloc.Spills, comp.Alloc.Remats, comp.Assign.Coalesced)
+		fmt.Printf("code: %d instruction words\n", comp.Asm.CodeWords())
+		fmt.Printf("compile time: %v\n", elapsed.Round(time.Millisecond))
+	}
+	switch *print {
+	case "ast":
+		fmt.Print(ast.Print(comp.AST))
+	case "cps":
+		fmt.Print(comp.CPS.String())
+	case "mir":
+		fmt.Print(comp.MIR.String())
+	case "asm":
+		fmt.Print(comp.Asm.String())
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -print %q\n", *print)
+		os.Exit(2)
+	}
+}

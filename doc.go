@@ -1,0 +1,11 @@
+// Package repro is a from-scratch reproduction of "Taming the IXP
+// Network Processor" (George & Blume, PLDI 2003): the Nova language,
+// its CPS-based compiler with an ILP back end for combined register-
+// bank assignment, aggregate coloring, spilling and cloning, the
+// LP/MIP solver substrate, and a cycle-level IXP1200 micro-engine
+// simulator.
+//
+// The package itself holds the benchmark harness (bench_test.go) that
+// regenerates the paper's tables and figures; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,226 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ixp"
+	"repro/internal/mip"
+	"repro/internal/nova"
+	"repro/internal/pktgen"
+	"repro/internal/workloads"
+)
+
+// Workload descriptors shared by the tests and benches in this package.
+type workload struct {
+	name string
+	src  string
+	init func(m *ixp.Machine)
+}
+
+var workloadTable = []workload{
+	{"AES", workloads.AESSource, func(m *ixp.Machine) { workloads.InitAES(m.SRAM) }},
+	{"Kasumi", workloads.KasumiSource, func(m *ixp.Machine) { workloads.InitKasumi(m.SRAM, m.Scratch) }},
+	{"NAT", workloads.NATSource, nil},
+}
+
+// compileCache memoizes the expensive ILP compilations across the
+// whole test binary.
+var compileCache = struct {
+	sync.Mutex
+	m map[string]*nova.Compilation
+}{m: map[string]*nova.Compilation{}}
+
+func compileWorkload(tb testing.TB, w workload) *nova.Compilation {
+	tb.Helper()
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	if c, ok := compileCache.m[w.name]; ok {
+		return c
+	}
+	opts := nova.DefaultOptions()
+	opts.MIP = &mip.Options{Time: 4 * time.Minute}
+	c, err := nova.Compile(w.name+".nova", w.src, opts)
+	if err != nil {
+		tb.Fatalf("compile %s: %v", w.name, err)
+	}
+	compileCache.m[w.name] = c
+	return c
+}
+
+// newMachine builds a simulator machine sized for the workloads.
+func newMachine(threads int) *ixp.Machine {
+	cfg := ixp.DefaultConfig()
+	cfg.SRAMWords = 1 << 14
+	cfg.SDRAMWords = 1 << 16
+	cfg.Threads = threads
+	return ixp.New(cfg)
+}
+
+// runAES simulates one batch: each thread encrypts its own packet of
+// the given payload size. It returns the consumed cycles.
+func runWorkloadBatch(tb testing.TB, comp *nova.Compilation, w workload,
+	threads, payloadBytes int) int64 {
+	tb.Helper()
+	m := newMachine(threads)
+	if w.init != nil {
+		w.init(m)
+	}
+	m.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for th := 0; th < threads; th++ {
+		switch w.name {
+		case "AES":
+			pkt := pktgen.BuildTCP(int64(th+1), payloadBytes)
+			base := uint32(0x100 + th*0x400)
+			copy(m.SDRAM[base:], pkt.Words)
+			if err := m.SetArgs(th, regs, []uint32{base, uint32(payloadBytes / 16)}); err != nil {
+				tb.Fatal(err)
+			}
+		case "Kasumi":
+			pkt := pktgen.BuildTCP(int64(th+17), payloadBytes)
+			base := uint32(0x100 + th*0x400)
+			copy(m.SDRAM[base:], pkt.Words)
+			if err := m.SetArgs(th, regs, []uint32{base, uint32(payloadBytes / 8)}); err != nil {
+				tb.Fatal(err)
+			}
+		case "NAT":
+			words := pktgen.BuildIPv6TCP(int64(th+33), payloadBytes)
+			src := uint32(0x100 + th*0x800)
+			dst := uint32(0x8000 + th*0x800)
+			copy(m.SDRAM[src:], words)
+			if err := m.SetArgs(th, regs, []uint32{src, dst, uint32((payloadBytes + 7) / 8)}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	st, err := m.Run(500_000_000)
+	if err != nil {
+		tb.Fatalf("%s: %v", w.name, err)
+	}
+	return st.Cycles
+}
+
+// runWorkloadChip runs one batch on a full n-engine chip (shared
+// memory ports) and returns the makespan in cycles.
+func runWorkloadChip(tb testing.TB, comp *nova.Compilation, w workload,
+	engines, threads, payloadBytes int) int64 {
+	tb.Helper()
+	cfg := ixp.DefaultConfig()
+	cfg.SRAMWords = 1 << 14
+	cfg.SDRAMWords = 1 << 18
+	cfg.Threads = threads
+	chip := ixp.NewChip(cfg, engines)
+	switch w.name {
+	case "AES":
+		workloads.InitAES(chip.SRAM())
+	case "Kasumi":
+		workloads.InitKasumi(chip.SRAM(), chip.Scratch())
+	}
+	chip.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for e := 0; e < engines; e++ {
+		for th := 0; th < threads; th++ {
+			slot := e*threads + th
+			switch w.name {
+			case "AES":
+				pkt := pktgen.BuildTCP(int64(slot+1), payloadBytes)
+				base := uint32(0x100 + slot*0x400)
+				copy(chip.SDRAM()[base:], pkt.Words)
+				if err := chip.Engines[e].SetArgs(th, regs, []uint32{base, uint32(payloadBytes / 16)}); err != nil {
+					tb.Fatal(err)
+				}
+			case "Kasumi":
+				pkt := pktgen.BuildTCP(int64(slot+17), payloadBytes)
+				base := uint32(0x100 + slot*0x400)
+				copy(chip.SDRAM()[base:], pkt.Words)
+				if err := chip.Engines[e].SetArgs(th, regs, []uint32{base, uint32(payloadBytes / 8)}); err != nil {
+					tb.Fatal(err)
+				}
+			case "NAT":
+				words := pktgen.BuildIPv6TCP(int64(slot+33), payloadBytes)
+				src := uint32(0x100 + slot*0x800)
+				dst := uint32(0x20000 + slot*0x800)
+				copy(chip.SDRAM()[src:], words)
+				if err := chip.Engines[e].SetArgs(th, regs, []uint32{src, dst, uint32((payloadBytes + 7) / 8)}); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	st, err := chip.Run(500_000_000)
+	if err != nil {
+		tb.Fatalf("%s chip: %v", w.name, err)
+	}
+	return st.Cycles
+}
+
+// TestWorkloadsEndToEnd compiles all three benchmarks through the full
+// pipeline, runs them on the simulator, and compares results and
+// memory against the Go oracles. This is the paper's whole system
+// exercised end to end; skipped with -short.
+func TestWorkloadsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ILP compilation takes minutes")
+	}
+	for _, w := range workloadTable {
+		comp := compileWorkload(t, w)
+		m := newMachine(1)
+		if w.init != nil {
+			w.init(m)
+		}
+		m.Load(comp.Asm)
+		regs, err := comp.EntryRegs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleMem := append([]uint32(nil), m.SDRAM...)
+		var args []uint32
+		var wantRet uint32
+		switch w.name {
+		case "AES":
+			pkt := pktgen.BuildTCP(5, 64)
+			copy(m.SDRAM[0x100:], pkt.Words)
+			copy(oracleMem[0x100:], pkt.Words)
+			args = []uint32{0x100, 4}
+			wantRet = workloads.AESOracle(oracleMem, 0x100, 4)
+		case "Kasumi":
+			pkt := pktgen.BuildTCP(6, 64)
+			copy(m.SDRAM[0x100:], pkt.Words)
+			copy(oracleMem[0x100:], pkt.Words)
+			args = []uint32{0x100, 8}
+			wantRet = workloads.KasumiOracle(oracleMem, 0x100, 8)
+		case "NAT":
+			words := pktgen.BuildIPv6TCP(7, 64)
+			copy(m.SDRAM[0x100:], words)
+			copy(oracleMem[0x100:], words)
+			args = []uint32{0x100, 0x8000, 8}
+			wantRet = workloads.NATOracle(oracleMem, 0x100, 0x8000, 8)
+		}
+		if err := m.SetArgs(0, regs, args); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run(100_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if got := st.Results[0][0]; got != wantRet {
+			t.Errorf("%s: result %#x, oracle %#x", w.name, got, wantRet)
+		}
+		for i := range oracleMem {
+			if m.SDRAM[i] != oracleMem[i] {
+				t.Errorf("%s: sdram[%#x] = %#x, oracle %#x", w.name, i, m.SDRAM[i], oracleMem[i])
+				break
+			}
+		}
+		t.Logf("%s: ok — %d instrs executed, %d mem refs, %d cycles",
+			w.name, st.Instrs, st.MemRefs, st.Cycles)
+	}
+}

@@ -1,0 +1,551 @@
+// Package ast defines the abstract syntax of the Nova language
+// (George & Blume, PLDI 2003, §3): a lexically-scoped, strict,
+// statically-typed call-by-value language with records, tuples,
+// layouts/overlays, nested functions restricted to tail recursion,
+// lexically scoped exceptions (try/handle/raise), and syntactically
+// explicit memory access through intrinsics.
+package ast
+
+import "repro/internal/source"
+
+// Node is implemented by every syntax node.
+type Node interface {
+	Span() source.Span
+}
+
+// ---------------------------------------------------------------------------
+// Programs and declarations
+
+// Program is one whole Nova compilation unit. Nova programs are small
+// (they must fit in a micro-engine instruction store), so whole-program
+// compilation is the norm.
+type Program struct {
+	Decls []Decl
+	Sp    source.Span
+}
+
+func (p *Program) Span() source.Span { return p.Sp }
+
+// Decl is a top-level declaration: a layout, a constant, or a function.
+type Decl interface {
+	Node
+	decl()
+}
+
+// LayoutDecl names a layout: layout ipv6_address = { a1:32, ... };
+type LayoutDecl struct {
+	Name string
+	Body LayoutExpr
+	Sp   source.Span
+}
+
+// ConstDecl is a top-level compile-time constant: let RK0 = 0x1b;
+type ConstDecl struct {
+	Name string
+	X    Expr
+	Sp   source.Span
+}
+
+// FunDecl declares a (possibly nested) function. Exactly one of the
+// parameter styles is used: positional tuple parameters f(x: T, ...)
+// or named record parameters g[x: T, ...] (used at call sites as
+// g[x = e, ...], following the paper's examples).
+type FunDecl struct {
+	Name   string
+	Params []Param
+	Named  bool     // true for record-style [..] parameters
+	Result TypeExpr // nil means unit
+	Body   *Block
+	Sp     source.Span
+}
+
+func (*LayoutDecl) decl() {}
+func (*ConstDecl) decl()  {}
+func (*FunDecl) decl()    {}
+
+func (d *LayoutDecl) Span() source.Span { return d.Sp }
+func (d *ConstDecl) Span() source.Span  { return d.Sp }
+func (d *FunDecl) Span() source.Span    { return d.Sp }
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+	Sp   source.Span
+}
+
+// ---------------------------------------------------------------------------
+// Layout expressions (§3.2)
+
+// LayoutExpr describes the arrangement of bitfields within a byte stream.
+type LayoutExpr interface {
+	Node
+	layoutExpr()
+}
+
+// LayoutName refers to a previously declared layout.
+type LayoutName struct {
+	Name string
+	Sp   source.Span
+}
+
+// LayoutLit is a sequential field list: { version: 4, flow: 24, src: ipv6 }.
+type LayoutLit struct {
+	Fields []LayoutField
+	Sp     source.Span
+}
+
+// LayoutGap is an unnamed n-bit gap: {16}.
+type LayoutGap struct {
+	Bits int
+	Sp   source.Span
+}
+
+// LayoutConcat concatenates two sequential layouts: a ## b.
+type LayoutConcat struct {
+	L, R LayoutExpr
+	Sp   source.Span
+}
+
+func (*LayoutName) layoutExpr()   {}
+func (*LayoutLit) layoutExpr()    {}
+func (*LayoutGap) layoutExpr()    {}
+func (*LayoutConcat) layoutExpr() {}
+
+func (l *LayoutName) Span() source.Span   { return l.Sp }
+func (l *LayoutLit) Span() source.Span    { return l.Sp }
+func (l *LayoutGap) Span() source.Span    { return l.Sp }
+func (l *LayoutConcat) Span() source.Span { return l.Sp }
+
+// LayoutField is one named component of a layout literal. Exactly one of
+// Bits (> 0), Sub, or Overlay is set.
+type LayoutField struct {
+	Name    string
+	Bits    int           // bitfield width, if a leaf
+	Sub     LayoutExpr    // sub-layout, if a composite field
+	Overlay []LayoutField // alternatives, if an overlay field
+	Sp      source.Span
+}
+
+// ---------------------------------------------------------------------------
+// Type expressions (§3)
+
+// TypeExpr is a syntactic type annotation.
+type TypeExpr interface {
+	Node
+	typeExpr()
+}
+
+// WordType is the 32-bit machine word type.
+type WordType struct{ Sp source.Span }
+
+// BoolType is the boolean type (encoded as control flow after CPS).
+type BoolType struct{ Sp source.Span }
+
+// TupleType is (T1, T2, ...); the empty tuple () is unit.
+type TupleType struct {
+	Elems []TypeExpr
+	Sp    source.Span
+}
+
+// RecordType is [x: T, y: T].
+type RecordType struct {
+	Fields []Param
+	Sp     source.Span
+}
+
+// WordArrayType is word[n], a synonym for the n-tuple of words.
+type WordArrayType struct {
+	N  int
+	Sp source.Span
+}
+
+// ArrowType is a function type (T1, ...) -> T.
+type ArrowType struct {
+	Params []TypeExpr
+	Result TypeExpr // nil means unit
+	Sp     source.Span
+}
+
+// ExnType is an exception type exn(T...) or exn[x: T, ...].
+type ExnType struct {
+	Params []Param
+	Named  bool
+	Sp     source.Span
+}
+
+// PackedType is packed(l).
+type PackedType struct {
+	Layout LayoutExpr
+	Sp     source.Span
+}
+
+// UnpackedType is unpacked(l).
+type UnpackedType struct {
+	Layout LayoutExpr
+	Sp     source.Span
+}
+
+func (*WordType) typeExpr()      {}
+func (*BoolType) typeExpr()      {}
+func (*TupleType) typeExpr()     {}
+func (*RecordType) typeExpr()    {}
+func (*WordArrayType) typeExpr() {}
+func (*ArrowType) typeExpr()     {}
+func (*ExnType) typeExpr()       {}
+func (*PackedType) typeExpr()    {}
+func (*UnpackedType) typeExpr()  {}
+
+func (t *WordType) Span() source.Span      { return t.Sp }
+func (t *BoolType) Span() source.Span      { return t.Sp }
+func (t *TupleType) Span() source.Span     { return t.Sp }
+func (t *RecordType) Span() source.Span    { return t.Sp }
+func (t *WordArrayType) Span() source.Span { return t.Sp }
+func (t *ArrowType) Span() source.Span     { return t.Sp }
+func (t *ExnType) Span() source.Span       { return t.Sp }
+func (t *PackedType) Span() source.Span    { return t.Sp }
+func (t *UnpackedType) Span() source.Span  { return t.Sp }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is one statement inside a block.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// LetStmt binds one or several names: let x = e; let (a, b) = sram[2](p);
+// An optional type constraint applies to a single-name binding.
+type LetStmt struct {
+	Names []string // "_" allowed for ignored components
+	Type  TypeExpr // optional, single-name only
+	X     Expr
+	Sp    source.Span
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X  Expr
+	Sp source.Span
+}
+
+// StoreStmt writes an aggregate to memory: sram(addr) <- (x, y, z);
+type StoreStmt struct {
+	Op     IntrinsicOp // OpSRAM, OpSDRAM, OpScratch, OpTFIFO, OpCSR
+	Addr   Expr
+	Values []Expr
+	Sp     source.Span
+}
+
+// WhileStmt loops while the condition holds. Compiled to a
+// tail-recursive function (loops are syntactic sugar).
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Sp   source.Span
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X  Expr // nil for unit
+	Sp source.Span
+}
+
+// FunStmt nests a function declaration inside a block.
+type FunStmt struct {
+	Fun *FunDecl
+}
+
+func (*LetStmt) stmt()    {}
+func (*ExprStmt) stmt()   {}
+func (*StoreStmt) stmt()  {}
+func (*WhileStmt) stmt()  {}
+func (*ReturnStmt) stmt() {}
+func (*FunStmt) stmt()    {}
+
+func (s *LetStmt) Span() source.Span    { return s.Sp }
+func (s *ExprStmt) Span() source.Span   { return s.Sp }
+func (s *StoreStmt) Span() source.Span  { return s.Sp }
+func (s *WhileStmt) Span() source.Span  { return s.Sp }
+func (s *ReturnStmt) Span() source.Span { return s.Sp }
+func (s *FunStmt) Span() source.Span    { return s.Fun.Sp }
+
+// Block is { stmt; ...; expr? }. Result is nil for a unit block.
+type Block struct {
+	Stmts  []Stmt
+	Result Expr
+	Sp     source.Span
+}
+
+func (b *Block) Span() source.Span { return b.Sp }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is one Nova expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal. Values are 32-bit machine words.
+type IntLit struct {
+	Value uint32
+	Text  string
+	Sp    source.Span
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Sp    source.Span
+}
+
+// VarRef references a variable, constant, function, or exception in scope.
+type VarRef struct {
+	Name string
+	Sp   source.Span
+}
+
+// UnaryOp is the operator of a UnaryExpr.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg UnaryOp = iota // -x
+	OpNot                // !x
+	OpInv                // ~x
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op UnaryOp
+	X  Expr
+	Sp source.Span
+}
+
+// BinOp is the operator of a BinaryExpr.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpAndAnd
+	OpOrOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", ">", "<=", ">=", "&&", "||"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op yields a bool from two words.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// IsLogical reports whether op is a short-circuit boolean operator.
+func (op BinOp) IsLogical() bool { return op == OpAndAnd || op == OpOrOr }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+	Sp   source.Span
+}
+
+// CallExpr is a positional call f(e1, ...). Exceptions raised with
+// tuple arguments share this node under RaiseExpr.
+type CallExpr struct {
+	Callee Expr
+	Args   []Expr
+	Sp     source.Span
+}
+
+// CallNamedExpr is a record-style call g[x = e, ...].
+type CallNamedExpr struct {
+	Callee Expr
+	Fields []FieldInit
+	Sp     source.Span
+}
+
+// FieldInit is one name = expr pair in a record construction or named call.
+type FieldInit struct {
+	Name string
+	X    Expr
+	Sp   source.Span
+}
+
+// RecordExpr constructs a record value [x = e, y = e].
+type RecordExpr struct {
+	Fields []FieldInit
+	Sp     source.Span
+}
+
+// TupleExpr constructs a tuple value (e1, e2, ...); () is unit.
+type TupleExpr struct {
+	Elems []Expr
+	Sp    source.Span
+}
+
+// SelectExpr projects a record field: e.x.
+type SelectExpr struct {
+	X    Expr
+	Name string
+	Sp   source.Span
+}
+
+// ProjExpr projects a tuple component by index: e.0, e.1.
+type ProjExpr struct {
+	X     Expr
+	Index int
+	Sp    source.Span
+}
+
+// IfExpr is if (c) e1 else e2; as a statement the else arm may be nil.
+type IfExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr // nil only in statement position
+	Sp   source.Span
+}
+
+// BlockExpr wraps a block in expression position.
+type BlockExpr struct {
+	B *Block
+}
+
+// RaiseExpr raises an exception: raise X1[b = e] or raise x2(e, ...).
+// It has any type (it never returns normally).
+type RaiseExpr struct {
+	Exn    Expr
+	Args   []Expr      // tuple-style arguments
+	Fields []FieldInit // record-style arguments
+	Named  bool
+	Sp     source.Span
+}
+
+// Handler is one handle clause of a try expression.
+type Handler struct {
+	Name   string
+	Params []Param
+	Named  bool
+	Body   *Block
+	Sp     source.Span
+}
+
+// TryExpr is try { ... } handle X1 [...] { ... } handle X2 () { ... }.
+// Each handler lexically introduces its exception name inside the try body.
+type TryExpr struct {
+	Body     *Block
+	Handlers []Handler
+	Sp       source.Span
+}
+
+// UnpackExpr is unpack[l](e): packed(l) -> unpacked(l).
+type UnpackExpr struct {
+	Layout LayoutExpr
+	X      Expr
+	Sp     source.Span
+}
+
+// PackExpr is pack[l] [f = e, ...]: builds packed(l) from field values,
+// choosing exactly one alternative of every overlay.
+type PackExpr struct {
+	Layout LayoutExpr
+	Fields []FieldInit
+	Sp     source.Span
+}
+
+// IntrinsicOp identifies a hardware intrinsic (§3.3).
+type IntrinsicOp int
+
+// Intrinsic operations.
+const (
+	OpSRAM    IntrinsicOp = iota // SRAM read/write via L/S transfer banks
+	OpSDRAM                      // SDRAM read/write via LD/SD, even sizes
+	OpScratch                    // on-chip scratch via L/S
+	OpHash                       // hash unit; same-register constraint
+	OpBTS                        // sram bit_test_set: read-modify-write, same-register
+	OpCSR                        // control/status register access
+	OpRFIFO                      // receive FIFO read (L-class destination)
+	OpTFIFO                      // transmit FIFO write (S-class source)
+	OpCtxSwap                    // voluntary context swap
+)
+
+var intrinsicNames = [...]string{"sram", "sdram", "scratch", "hash",
+	"sram_bts", "csr", "rfifo", "tfifo", "ctx_swap"}
+
+func (op IntrinsicOp) String() string { return intrinsicNames[op] }
+
+// LookupIntrinsic maps a spelling to its intrinsic op.
+func LookupIntrinsic(name string) (IntrinsicOp, bool) {
+	for i, n := range intrinsicNames {
+		if n == name {
+			return IntrinsicOp(i), true
+		}
+	}
+	return 0, false
+}
+
+// IntrinsicExpr is a read-style intrinsic: sram[4](addr), hash(x),
+// csr(n), rfifo[2](idx), ctx_swap(). Size is the aggregate word count
+// (0 when the op takes none).
+type IntrinsicExpr struct {
+	Op   IntrinsicOp
+	Size int
+	Args []Expr
+	Sp   source.Span
+}
+
+func (*IntLit) expr()        {}
+func (*BoolLit) expr()       {}
+func (*VarRef) expr()        {}
+func (*UnaryExpr) expr()     {}
+func (*BinaryExpr) expr()    {}
+func (*CallExpr) expr()      {}
+func (*CallNamedExpr) expr() {}
+func (*RecordExpr) expr()    {}
+func (*TupleExpr) expr()     {}
+func (*SelectExpr) expr()    {}
+func (*ProjExpr) expr()      {}
+func (*IfExpr) expr()        {}
+func (*BlockExpr) expr()     {}
+func (*RaiseExpr) expr()     {}
+func (*TryExpr) expr()       {}
+func (*UnpackExpr) expr()    {}
+func (*PackExpr) expr()      {}
+func (*IntrinsicExpr) expr() {}
+
+func (e *IntLit) Span() source.Span        { return e.Sp }
+func (e *BoolLit) Span() source.Span       { return e.Sp }
+func (e *VarRef) Span() source.Span        { return e.Sp }
+func (e *UnaryExpr) Span() source.Span     { return e.Sp }
+func (e *BinaryExpr) Span() source.Span    { return e.Sp }
+func (e *CallExpr) Span() source.Span      { return e.Sp }
+func (e *CallNamedExpr) Span() source.Span { return e.Sp }
+func (e *RecordExpr) Span() source.Span    { return e.Sp }
+func (e *TupleExpr) Span() source.Span     { return e.Sp }
+func (e *SelectExpr) Span() source.Span    { return e.Sp }
+func (e *ProjExpr) Span() source.Span      { return e.Sp }
+func (e *IfExpr) Span() source.Span        { return e.Sp }
+func (e *BlockExpr) Span() source.Span     { return e.B.Sp }
+func (e *RaiseExpr) Span() source.Span     { return e.Sp }
+func (e *TryExpr) Span() source.Span       { return e.Sp }
+func (e *UnpackExpr) Span() source.Span    { return e.Sp }
+func (e *PackExpr) Span() source.Span      { return e.Sp }
+func (e *IntrinsicExpr) Span() source.Span { return e.Sp }

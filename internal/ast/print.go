@@ -1,0 +1,440 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to Nova concrete syntax. The output
+// re-parses to an identical tree (checked by the round-trip tests),
+// which makes it usable for diagnostics and for the compiler driver's
+// -print ast mode.
+func Print(p *Program) string {
+	var b printer
+	for i, d := range p.Decls {
+		if i > 0 {
+			b.nl()
+		}
+		b.decl(d)
+	}
+	return b.String()
+}
+
+type printer struct {
+	strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.WriteString("  ")
+	}
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *LayoutDecl:
+		fmt.Fprintf(p, "layout %s = ", d.Name)
+		p.layout(d.Body)
+		p.WriteString(";")
+		p.nl()
+	case *ConstDecl:
+		fmt.Fprintf(p, "let %s = ", d.Name)
+		p.expr(d.X, 0)
+		p.WriteString(";")
+		p.nl()
+	case *FunDecl:
+		p.fun(d)
+		p.nl()
+	}
+}
+
+func (p *printer) fun(d *FunDecl) {
+	fmt.Fprintf(p, "fun %s", d.Name)
+	open, close := "(", ")"
+	if d.Named {
+		open, close = "[", "]"
+	}
+	p.WriteString(open)
+	for i, prm := range d.Params {
+		if i > 0 {
+			p.WriteString(", ")
+		}
+		p.WriteString(prm.Name)
+		if prm.Type != nil {
+			p.WriteString(": ")
+			p.typ(prm.Type)
+		}
+	}
+	p.WriteString(close)
+	if d.Result != nil {
+		p.WriteString(" -> ")
+		p.typ(d.Result)
+	}
+	p.WriteString(" ")
+	p.block(d.Body)
+}
+
+func (p *printer) layout(l LayoutExpr) {
+	switch l := l.(type) {
+	case *LayoutName:
+		p.WriteString(l.Name)
+	case *LayoutGap:
+		fmt.Fprintf(p, "{%d}", l.Bits)
+	case *LayoutConcat:
+		p.layout(l.L)
+		p.WriteString(" ## ")
+		p.layout(l.R)
+	case *LayoutLit:
+		p.WriteString("{ ")
+		for i, f := range l.Fields {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.layoutField(f)
+		}
+		p.WriteString(" }")
+	}
+}
+
+func (p *printer) layoutField(f LayoutField) {
+	fmt.Fprintf(p, "%s : ", f.Name)
+	switch {
+	case len(f.Overlay) > 0:
+		p.WriteString("overlay { ")
+		for i, a := range f.Overlay {
+			if i > 0 {
+				p.WriteString(" | ")
+			}
+			p.layoutField(a)
+		}
+		p.WriteString(" }")
+	case f.Sub != nil:
+		p.layout(f.Sub)
+	default:
+		fmt.Fprintf(p, "%d", f.Bits)
+	}
+}
+
+func (p *printer) typ(t TypeExpr) {
+	switch t := t.(type) {
+	case *WordType:
+		p.WriteString("word")
+	case *BoolType:
+		p.WriteString("bool")
+	case *WordArrayType:
+		fmt.Fprintf(p, "word[%d]", t.N)
+	case *TupleType:
+		p.WriteString("(")
+		for i, e := range t.Elems {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.typ(e)
+		}
+		p.WriteString(")")
+	case *RecordType:
+		p.WriteString("[")
+		for i, f := range t.Fields {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			fmt.Fprintf(p, "%s: ", f.Name)
+			p.typ(f.Type)
+		}
+		p.WriteString("]")
+	case *ArrowType:
+		p.WriteString("(")
+		for i, e := range t.Params {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.typ(e)
+		}
+		p.WriteString(") -> ")
+		p.typ(t.Result)
+	case *ExnType:
+		p.WriteString("exn")
+		if t.Named {
+			p.WriteString("[")
+			for i, f := range t.Params {
+				if i > 0 {
+					p.WriteString(", ")
+				}
+				fmt.Fprintf(p, "%s: ", f.Name)
+				p.typ(f.Type)
+			}
+			p.WriteString("]")
+		} else {
+			p.WriteString("(")
+			for i, f := range t.Params {
+				if i > 0 {
+					p.WriteString(", ")
+				}
+				p.typ(f.Type)
+			}
+			p.WriteString(")")
+		}
+	case *PackedType:
+		p.WriteString("packed(")
+		p.layout(t.Layout)
+		p.WriteString(")")
+	case *UnpackedType:
+		p.WriteString("unpacked(")
+		p.layout(t.Layout)
+		p.WriteString(")")
+	}
+}
+
+func (p *printer) block(b *Block) {
+	p.WriteString("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	if b.Result != nil {
+		p.nl()
+		p.expr(b.Result, 0)
+	}
+	p.indent--
+	p.nl()
+	p.WriteString("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *LetStmt:
+		p.WriteString("let ")
+		if len(s.Names) == 1 {
+			p.WriteString(s.Names[0])
+			if s.Type != nil {
+				p.WriteString(": ")
+				p.typ(s.Type)
+			}
+		} else {
+			p.WriteString("(" + strings.Join(s.Names, ", ") + ")")
+		}
+		p.WriteString(" = ")
+		p.expr(s.X, 0)
+		p.WriteString(";")
+	case *ExprStmt:
+		p.expr(s.X, 0)
+		p.WriteString(";")
+	case *StoreStmt:
+		fmt.Fprintf(p, "%v(", s.Op)
+		p.expr(s.Addr, 0)
+		p.WriteString(") <- (")
+		for i, v := range s.Values {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.expr(v, 0)
+		}
+		p.WriteString(");")
+	case *WhileStmt:
+		p.WriteString("while (")
+		p.expr(s.Cond, 0)
+		p.WriteString(") ")
+		p.block(s.Body)
+	case *ReturnStmt:
+		p.WriteString("return")
+		if s.X != nil {
+			p.WriteString(" ")
+			p.expr(s.X, 0)
+		}
+		p.WriteString(";")
+	case *FunStmt:
+		p.fun(s.Fun)
+	}
+}
+
+// binPrec mirrors the token precedence table.
+func binPrec(op BinOp) int {
+	switch op {
+	case OpOrOr:
+		return 1
+	case OpAndAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpGt, OpLe, OpGe:
+		return 3
+	case OpAnd, OpOr, OpXor:
+		return 4
+	case OpShl, OpShr:
+		return 5
+	case OpAdd, OpSub:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Text != "" {
+			p.WriteString(e.Text)
+		} else {
+			fmt.Fprintf(p, "%d", e.Value)
+		}
+	case *BoolLit:
+		fmt.Fprintf(p, "%v", e.Value)
+	case *VarRef:
+		p.WriteString(e.Name)
+	case *UnaryExpr:
+		switch e.Op {
+		case OpNeg:
+			p.WriteString("-")
+		case OpNot:
+			p.WriteString("!")
+		case OpInv:
+			p.WriteString("~")
+		}
+		p.expr(e.X, 8)
+	case *BinaryExpr:
+		bp := binPrec(e.Op)
+		if bp < prec {
+			p.WriteString("(")
+		}
+		p.expr(e.L, bp)
+		fmt.Fprintf(p, " %v ", e.Op)
+		p.expr(e.R, bp+1)
+		if bp < prec {
+			p.WriteString(")")
+		}
+	case *CallExpr:
+		p.expr(e.Callee, 8)
+		p.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.WriteString(")")
+	case *CallNamedExpr:
+		p.expr(e.Callee, 8)
+		p.fieldInits(e.Fields)
+	case *RecordExpr:
+		p.fieldInits(e.Fields)
+	case *TupleExpr:
+		p.WriteString("(")
+		for i, x := range e.Elems {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.expr(x, 0)
+		}
+		p.WriteString(")")
+	case *SelectExpr:
+		p.expr(e.X, 8)
+		p.WriteString("." + e.Name)
+	case *ProjExpr:
+		p.expr(e.X, 8)
+		fmt.Fprintf(p, ".%d", e.Index)
+	case *IfExpr:
+		if prec > 0 {
+			p.WriteString("(")
+		}
+		p.WriteString("if (")
+		p.expr(e.Cond, 0)
+		p.WriteString(") ")
+		p.expr(e.Then, 1)
+		if e.Else != nil {
+			p.WriteString(" else ")
+			p.expr(e.Else, 1)
+		}
+		if prec > 0 {
+			p.WriteString(")")
+		}
+	case *BlockExpr:
+		p.block(e.B)
+	case *RaiseExpr:
+		p.WriteString("raise ")
+		p.expr(e.Exn, 8)
+		if e.Named {
+			p.fieldInits(e.Fields)
+		} else {
+			p.WriteString("(")
+			for i, a := range e.Args {
+				if i > 0 {
+					p.WriteString(", ")
+				}
+				p.expr(a, 0)
+			}
+			p.WriteString(")")
+		}
+	case *TryExpr:
+		p.WriteString("try ")
+		p.block(e.Body)
+		for _, h := range e.Handlers {
+			p.nl()
+			fmt.Fprintf(p, "handle %s ", h.Name)
+			if h.Named {
+				p.WriteString("[")
+				for i, prm := range h.Params {
+					if i > 0 {
+						p.WriteString(", ")
+					}
+					p.WriteString(prm.Name)
+					if prm.Type != nil {
+						p.WriteString(": ")
+						p.typ(prm.Type)
+					}
+				}
+				p.WriteString("] ")
+			} else {
+				p.WriteString("(")
+				for i, prm := range h.Params {
+					if i > 0 {
+						p.WriteString(", ")
+					}
+					p.WriteString(prm.Name)
+					if prm.Type != nil {
+						p.WriteString(": ")
+						p.typ(prm.Type)
+					}
+				}
+				p.WriteString(") ")
+			}
+			p.block(h.Body)
+		}
+	case *UnpackExpr:
+		p.WriteString("unpack[")
+		p.layout(e.Layout)
+		p.WriteString("](")
+		p.expr(e.X, 0)
+		p.WriteString(")")
+	case *PackExpr:
+		p.WriteString("pack[")
+		p.layout(e.Layout)
+		p.WriteString("] ")
+		p.fieldInits(e.Fields)
+	case *IntrinsicExpr:
+		fmt.Fprintf(p, "%v", e.Op)
+		if e.Size > 0 {
+			fmt.Fprintf(p, "[%d]", e.Size)
+		}
+		p.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.WriteString(")")
+	}
+}
+
+func (p *printer) fieldInits(fs []FieldInit) {
+	p.WriteString("[")
+	for i, f := range fs {
+		if i > 0 {
+			p.WriteString(", ")
+		}
+		fmt.Fprintf(p, "%s = ", f.Name)
+		p.expr(f.X, 0)
+	}
+	p.WriteString("]")
+}

@@ -1,0 +1,59 @@
+package ast_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/workloads"
+)
+
+// TestPrintRoundTrip: parse → print → parse → print must reach a fixed
+// point (the second print equals the first), for every benchmark
+// workload and a grab bag of feature-heavy programs.
+func TestPrintRoundTrip(t *testing.T) {
+	sources := map[string]string{
+		"aes":    workloads.AESSource,
+		"kasumi": workloads.KasumiSource,
+		"nat":    workloads.NATSource,
+		"features": `
+layout h = { v : overlay { whole : 8 | parts : { a : 4, b : 4 } }, rest : 24 };
+layout pair = h ## {32};
+let K = 0x42;
+fun g[x: word, e: exn(word)] -> word {
+  if (x > K) raise e(x) else x
+}
+fun main(p: packed(pair), q: word) -> (word, word) {
+  let u = unpack[h ## {32}](p);
+  let w = pack[h] [ v = [ parts = [ a = 1, b = 2 ] ], rest = u.rest ];
+  let r = [f = q, s = (q, q + 1)];
+  let acc = 0;
+  let i = 0;
+  while (i < 4) {
+    let acc = acc + r.s.1;
+    let i = i + 1;
+  }
+  try {
+    let z = g[x = acc, e = Boom];
+    sram(10) <- (z, w);
+    (z, u.v.whole)
+  } handle Boom (b: word) { (b, 0) }
+}`,
+	}
+	for name, src := range sources {
+		prog1, errs := parser.ParseString(name, src)
+		if errs.HasErrors() {
+			t.Fatalf("%s: parse original: %v", name, errs)
+		}
+		out1 := ast.Print(prog1)
+		prog2, errs2 := parser.ParseString(name+"-2", out1)
+		if errs2.HasErrors() {
+			t.Fatalf("%s: reparse failed: %v\nprinted:\n%s", name, errs2, out1)
+		}
+		out2 := ast.Print(prog2)
+		if out1 != out2 {
+			t.Fatalf("%s: print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				name, out1, out2)
+		}
+	}
+}

@@ -1,0 +1,738 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mir"
+	"repro/internal/model"
+)
+
+// ilp holds the model under construction together with the column maps
+// needed to read the solution back.
+type ilp struct {
+	g *graph
+	m *model.Model
+
+	roots    []locID
+	rootSeen map[locID]bool
+	posCol   map[posKey]int
+	colorCol map[colorKey]int
+
+	// mayColor[v] = transfer banks v may occupy (colors exist there).
+	mayColor map[mir.Temp]bankSet
+
+	// arcsAt groups move arcs by point for the spill machinery.
+	arcsAt map[pointID][]int
+
+	// Auxiliary-column bookkeeping for the completion heuristic: every
+	// derived column together with the columns that determine it.
+	moveCols map[int]map[[2]Bank]int // arc index -> (b1,b2) -> column
+	maxCols  []maxCol                // col = max(of) for clone/spill vars
+	occCols  []occCol                // col = max over pairs of pos+color-1
+
+	// objConst is the cost of moves fixed by pinned-bank arcs; it is
+	// not part of the LP objective but is added back when reporting.
+	objConst float64
+}
+
+// maxCol records a derived 0-1 column whose value is the maximum of
+// other columns (cloneMove, cloneBefore, needsSpill).
+type maxCol struct {
+	col int
+	of  []int
+}
+
+// occCol records an occupancy column: max over (pos, color) pairs of
+// pos + color - 1.
+type occCol struct {
+	col   int
+	pairs [][2]int
+}
+
+type posKey struct {
+	root locID
+	bank Bank
+}
+
+type colorKey struct {
+	v    mir.Temp
+	bank Bank
+	reg  int
+}
+
+// buildModel translates the program graph into the 0-1 ILP of §5-§10.
+func buildModel(g *graph) (*ilp, error) {
+	il := &ilp{
+		g:        g,
+		m:        model.New(),
+		rootSeen: map[locID]bool{},
+		posCol:   map[posKey]int{},
+		colorCol: map[colorKey]int{},
+		mayColor: map[mir.Temp]bankSet{},
+		arcsAt:   map[pointID][]int{},
+		moveCols: map[int]map[[2]Bank]int{},
+	}
+	if err := il.propagatePaths(); err != nil {
+		return nil, err
+	}
+	if err := il.positions(); err != nil {
+		return nil, err
+	}
+	il.moves()
+	il.capacity()
+	il.colors()
+	il.spillRegs()
+	return il, nil
+}
+
+// propagatePaths narrows web bank sets to a fixpoint: when one end of
+// an arc is pinned to a single bank, the other end can only use banks
+// reachable from (or able to reach) it. Afterwards every remaining
+// (b1, b2) combination across an arc has a physical path, so arcs with
+// a pinned side need no Move variables at all — their cost lands
+// directly on the other side's position variables. This is the main
+// model-size reduction in the spirit of §8.
+func (il *ilp) propagatePaths() error {
+	g := il.g
+	pathOK := func(v mir.Temp, b1, b2 Bank) bool { return il.arcCost(v, b1, b2) >= 0 }
+	for changed := true; changed; {
+		changed = false
+		for _, a := range g.arcs {
+			from, to := g.find(a.from), g.find(a.to)
+			if from == to {
+				continue
+			}
+			fa, ta := g.locAllow[from], g.locAllow[to]
+			if fa.count() == 1 {
+				b1 := fa.banks()[0]
+				nt := ta
+				for _, b2 := range ta.banks() {
+					if !pathOK(a.v, b1, b2) {
+						nt = nt.del(b2)
+					}
+				}
+				if nt != ta {
+					if nt == 0 {
+						return fmt.Errorf("core: no bank of %s is reachable from %v",
+							g.mp.TempName(a.v), b1)
+					}
+					g.locAllow[to] = nt
+					changed = true
+				}
+			}
+			if ta.count() == 1 {
+				b2 := ta.banks()[0]
+				nf := fa
+				for _, b1 := range fa.banks() {
+					if !pathOK(a.v, b1, b2) {
+						nf = nf.del(b1)
+					}
+				}
+				if nf != fa {
+					if nf == 0 {
+						return fmt.Errorf("core: no bank of %s can reach %v",
+							g.mp.TempName(a.v), b2)
+					}
+					g.locAllow[from] = nf
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// positions creates the location (bank-residency) variables: one 0-1
+// variable per (web, allowed bank) with the §6 "in one place only"
+// constraint.
+func (il *ilp) positions() error {
+	g := il.g
+	for l := range g.locTemp {
+		r := g.find(locID(l))
+		if il.rootSeen[r] {
+			continue
+		}
+		il.rootSeen[r] = true
+		il.roots = append(il.roots, r)
+		allow := g.locAllow[r]
+		if allow == 0 {
+			return fmt.Errorf("core: location web of %s has no feasible bank (conflicting operand constraints)",
+				g.mp.TempName(g.locTemp[r]))
+		}
+		e := model.NewExpr()
+		for _, b := range allow.banks() {
+			col := il.m.Binary("Pos", int(r), b)
+			il.posCol[posKey{r, b}] = col
+			e.Add(1, col)
+			// Symmetry breaking in the spirit of the paper's §7 bias:
+			// an epsilon preference of A over B keeps the LP vertices
+			// integral instead of splitting ties fractionally. The
+			// epsilon is far below the 0.01% optimality gap.
+			if il.g.opts.BiasAB && b == B {
+				il.m.ObjAdd(col, 1e-6)
+			}
+		}
+		il.m.Eq("one_place", e, 1)
+	}
+	return nil
+}
+
+// pos returns the column of pos[root(l), b], or -1 when b is not
+// allowed there.
+func (il *ilp) pos(l locID, b Bank) int {
+	r := il.g.find(l)
+	if col, ok := il.posCol[posKey{r, b}]; ok {
+		return col
+	}
+	return -1
+}
+
+// moves creates the per-arc transition variables with flow-conservation
+// rows tying them to the endpoint positions (the paper's Move/Before/
+// After linkage, §5.2/§6), and charges the weighted objective (§7).
+// Clone-set moves at the same point are counted once (§10).
+func (il *ilp) moves() {
+	g := il.g
+	type cloneGroupKey struct {
+		p   pointID
+		set int
+	}
+	cloneGroups := map[cloneGroupKey][]int{} // -> arc indices
+	for i, a := range g.arcs {
+		il.arcsAt[a.point] = append(il.arcsAt[a.point], i)
+		if set := g.cloneSet[a.v]; set >= 0 {
+			k := cloneGroupKey{a.point, set}
+			cloneGroups[k] = append(cloneGroups[k], i)
+		}
+	}
+	grouped := map[int]cloneGroupKey{} // arc index -> group (when size > 1)
+	for k, idxs := range cloneGroups {
+		if len(idxs) > 1 {
+			for _, i := range idxs {
+				grouped[i] = k
+			}
+		}
+	}
+	groupCost := map[cloneGroupKey]map[[2]Bank]int{} // group -> pair -> cloneMove col
+	cmMembers := map[int][]int{}                     // cloneMove col -> member move cols
+
+	biased := func(c float64, b1 Bank) float64 {
+		if il.g.opts.BiasAB && b1 == B {
+			return c * Bias
+		}
+		return c
+	}
+	for i, a := range g.arcs {
+		from, to := g.find(a.from), g.find(a.to)
+		if from == to {
+			continue // unified: bank cannot change across this arc
+		}
+		fa, ta := g.locAllow[from], g.locAllow[to]
+		w := g.weight[a.point]
+		_, isGrouped := grouped[i]
+		// Substituted forms: when either side is pinned to one bank,
+		// the move cost is a linear function of the other side's
+		// position variables — no Move columns or flow rows needed.
+		// (propagatePaths guarantees every remaining pair has a path.)
+		if !isGrouped {
+			switch {
+			case fa.count() == 1 && ta.count() == 1:
+				b1, b2 := fa.banks()[0], ta.banks()[0]
+				il.objConst += w * biased(il.arcCost(a.v, b1, b2), b1)
+				continue
+			case fa.count() == 1:
+				b1 := fa.banks()[0]
+				for _, b2 := range ta.banks() {
+					if c := il.arcCost(a.v, b1, b2); c > 0 {
+						il.m.ObjAdd(il.pos(to, b2), w*biased(c, b1))
+					}
+				}
+				continue
+			case ta.count() == 1:
+				b2 := ta.banks()[0]
+				for _, b1 := range fa.banks() {
+					if c := il.arcCost(a.v, b1, b2); c > 0 {
+						il.m.ObjAdd(il.pos(from, b1), w*biased(c, b1))
+					}
+				}
+				continue
+			}
+		}
+		// Full flow formulation. The transition variables are
+		// continuous: integrality follows from the endpoint positions
+		// being 0-1.
+		type pv struct {
+			b1, b2 Bank
+			col    int
+		}
+		var pvs []pv
+		for _, b1 := range fa.banks() {
+			for _, b2 := range ta.banks() {
+				c := il.arcCost(a.v, b1, b2)
+				if c < 0 {
+					continue // no physical path
+				}
+				col := il.m.Continuous("Move", 0, 1, i, b1, b2)
+				if il.moveCols[i] == nil {
+					il.moveCols[i] = map[[2]Bank]int{}
+				}
+				il.moveCols[i][[2]Bank{b1, b2}] = col
+				pvs = append(pvs, pv{b1, b2, col})
+				if c == 0 {
+					continue
+				}
+				cost := w * biased(c, b1)
+				gk, ok := grouped[i]
+				if !ok {
+					il.m.ObjAdd(col, cost)
+					continue
+				}
+				// Clone counting: charge the group variable instead.
+				if groupCost[gk] == nil {
+					groupCost[gk] = map[[2]Bank]int{}
+				}
+				cm, ok := groupCost[gk][[2]Bank{b1, b2}]
+				if !ok {
+					cm = il.m.Continuous("CloneMove", 0, 1, gk.p, gk.set, b1, b2)
+					groupCost[gk][[2]Bank{b1, b2}] = cm
+					il.m.ObjAdd(cm, cost)
+				}
+				// cm >= move member
+				il.m.Ge("clone_move", model.NewExpr().Add(1, cm).Add(-1, col), 0)
+				cmMembers[cm] = append(cmMembers[cm], col)
+			}
+		}
+		// Flow conservation.
+		for _, b1 := range fa.banks() {
+			e := model.NewExpr()
+			for _, p := range pvs {
+				if p.b1 == b1 {
+					e.Add(1, p.col)
+				}
+			}
+			e.Add(-1, il.pos(from, b1))
+			il.m.Eq("move_out", e, 0)
+		}
+		for _, b2 := range ta.banks() {
+			e := model.NewExpr()
+			for _, p := range pvs {
+				if p.b2 == b2 {
+					e.Add(1, p.col)
+				}
+			}
+			e.Add(-1, il.pos(to, b2))
+			il.m.Eq("move_in", e, 0)
+		}
+	}
+	for cm, members := range cmMembers {
+		il.maxCols = append(il.maxCols, maxCol{col: cm, of: members})
+	}
+	// Arith operand pairing (§6): two sources cannot share A, B, and at
+	// most one may come from the transfer banks L ∪ LD.
+	for _, pr := range il.g.pairs {
+		for _, b := range []Bank{A, B} {
+			x, y := il.pos(pr.x, b), il.pos(pr.y, b)
+			if x >= 0 && y >= 0 {
+				il.m.Le("arith_bank", model.NewExpr().Add(1, x).Add(1, y), 1)
+			}
+		}
+		e := model.NewExpr()
+		n := 0
+		for _, b := range []Bank{L, LD} {
+			if x := il.pos(pr.x, b); x >= 0 {
+				e.Add(1, x)
+				n++
+			}
+			if y := il.pos(pr.y, b); y >= 0 {
+				e.Add(1, y)
+				n++
+			}
+		}
+		if n > 1 {
+			il.m.Le("arith_xfer", e, 1)
+		}
+	}
+}
+
+// moveIndicator returns a 0-1 column that is 1 exactly when arc ai
+// transitions b1 -> b2: a Move column for flow arcs, or the relevant
+// position column when one side is pinned. The second result is false
+// when the transition is impossible (or trivially certain — the
+// needsSpill machinery is conservative either way).
+func (il *ilp) moveIndicator(ai int, b1, b2 Bank) (int, bool) {
+	if cols := il.moveCols[ai]; cols != nil {
+		col, ok := cols[[2]Bank{b1, b2}]
+		return col, ok
+	}
+	g := il.g
+	a := g.arcs[ai]
+	from, to := g.find(a.from), g.find(a.to)
+	fa, ta := g.locAllow[from], g.locAllow[to]
+	if !fa.has(b1) || !ta.has(b2) {
+		return 0, false
+	}
+	switch {
+	case fa.count() == 1 && ta.count() == 1:
+		return 0, false // fixed; conservatively ignored (no spill traffic in practice)
+	case fa.count() == 1:
+		return il.pos(to, b2), true
+	case ta.count() == 1:
+		return il.pos(from, b1), true
+	}
+	return 0, false
+}
+
+// arcCost returns the cost of relocating v from b1 to b2, handling the
+// virtual constant bank.
+func (il *ilp) arcCost(v mir.Temp, b1, b2 Bank) float64 {
+	if b1 == C || b2 == C {
+		if !il.g.isConst[v] {
+			return -1
+		}
+		if b1 == b2 {
+			return 0
+		}
+		return constCost(il.g.constVal[v], b1, b2)
+	}
+	return MoveCost(b1, b2)
+}
+
+// capacity emits the §6 K constraints for the A and B banks, before
+// and after every point, counting one representative per clone set
+// (§10).
+func (il *ilp) capacity() {
+	g := il.g
+	for p := 0; p < g.npoints; p++ {
+		for side, list := range [][]locEntry{g.beforeLocs[p], g.afterLocs[p]} {
+			for _, bank := range []Bank{A, B} {
+				k := KA
+				if bank == B {
+					k = KB
+				}
+				if len(list) <= k {
+					continue // cannot bind
+				}
+				e := model.NewExpr()
+				terms := 0
+				cloneRep := map[int]int{}     // clone set -> representative col
+				repMembers := map[int][]int{} // representative col -> member pos cols
+				for _, le := range list {
+					col := il.pos(le.loc, bank)
+					if col < 0 {
+						continue
+					}
+					if set := g.cloneSet[le.v]; set >= 0 {
+						rep, ok := cloneRep[set]
+						if !ok {
+							rep = il.m.Continuous("CloneBefore", 0, 1, p, side, set, bank)
+							cloneRep[set] = rep
+							e.Add(1, rep)
+							terms++
+						}
+						// rep >= pos of each member
+						il.m.Ge("clone_count", model.NewExpr().Add(1, rep).Add(-1, col), 0)
+						repMembers[rep] = append(repMembers[rep], col)
+						continue
+					}
+					e.Add(1, col)
+					terms++
+				}
+				for rep, members := range repMembers {
+					il.maxCols = append(il.maxCols, maxCol{col: rep, of: members})
+				}
+				if terms > k {
+					il.m.Le("K_"+bank.String(), e, float64(k))
+				}
+			}
+		}
+	}
+}
+
+// colors emits the §9 machinery: per-temp per-transfer-bank color
+// variables, interference disequalities, aggregate adjacency with
+// boundary cuts, same-register couplings, and clone color links (§10).
+func (il *ilp) colors() {
+	g := il.g
+	// Which temps may occupy which transfer banks.
+	for l, v := range g.locTemp {
+		r := g.find(locID(l))
+		for _, b := range g.locAllow[r].banks() {
+			if b.IsXfer() {
+				il.mayColor[v] = il.mayColor[v].add(b)
+			}
+		}
+	}
+	// One color per (temp, bank).
+	var temps []mir.Temp
+	for v := range il.mayColor {
+		temps = append(temps, v)
+	}
+	sort.Slice(temps, func(i, j int) bool { return temps[i] < temps[j] })
+	for _, v := range temps {
+		for _, b := range il.mayColor[v].banks() {
+			e := model.NewExpr()
+			for r := 0; r < XRegs; r++ {
+				col := il.m.Binary("Color", int(v), b, r)
+				il.colorCol[colorKey{v, b, r}] = col
+				e.Add(1, col)
+			}
+			il.m.Eq("one_color", e, 1)
+		}
+	}
+	// Interference: temps simultaneously live in the same transfer bank
+	// must not share a color — unless they are clones of each other
+	// (§10: clones do not interfere).
+	seenPair := map[[3]int]bool{}
+	for p := 0; p < g.npoints; p++ {
+		for _, list := range [][]locEntry{g.beforeLocs[p], g.afterLocs[p]} {
+			for i := 0; i < len(list); i++ {
+				for j := i + 1; j < len(list); j++ {
+					v1, v2 := list[i].v, list[j].v
+					if v1 == v2 {
+						continue
+					}
+					if g.cloneSet[v1] >= 0 && g.cloneSet[v1] == g.cloneSet[v2] {
+						continue
+					}
+					l1, l2 := g.find(list[i].loc), g.find(list[j].loc)
+					if l1 == l2 {
+						continue // same web: same register, same value
+					}
+					for _, b := range (il.mayColor[v1].intersect(il.mayColor[v2])).banks() {
+						p1, p2 := il.pos(l1, b), il.pos(l2, b)
+						if p1 < 0 || p2 < 0 {
+							continue
+						}
+						key := [3]int{int(l1)*1000003 + int(l2), int(v1)*1000003 + int(v2), int(b)}
+						if seenPair[key] {
+							continue
+						}
+						seenPair[key] = true
+						for r := 0; r < XRegs; r++ {
+							c1 := il.colorCol[colorKey{v1, b, r}]
+							c2 := il.colorCol[colorKey{v2, b, r}]
+							il.m.Le("interfere", model.NewExpr().
+								Add(1, p1).Add(1, p2).Add(1, c1).Add(1, c2), 3)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Aggregate adjacency (§9): consecutive members occupy consecutive
+	// registers, with boundary zeros; optional redundant upper cuts.
+	for _, agg := range g.aggs {
+		n := len(agg.temps)
+		if n == 1 {
+			continue
+		}
+		b := agg.bank
+		for k := 0; k+1 < n; k++ {
+			vk, vk1 := agg.temps[k], agg.temps[k+1]
+			for r := 0; r+1 < XRegs; r++ {
+				e := model.NewExpr().
+					Add(1, il.colorCol[colorKey{vk, b, r}]).
+					Add(-1, il.colorCol[colorKey{vk1, b, r + 1}])
+				il.m.Eq("adjacent", e, 0)
+			}
+			// Boundary: a later member cannot sit in register 0.
+			il.m.Eq("adjacent_lo", model.NewExpr().
+				Add(1, il.colorCol[colorKey{vk1, b, 0}]), 0)
+		}
+		if g.opts.RedundantAggregate {
+			// §9: "the first temporary in an aggregate of three cannot
+			// possibly have colors 6 or 7" — and in general member j of
+			// an aggregate of n is confined to j .. j+(8-n).
+			for j, v := range agg.temps {
+				for r := 0; r < XRegs; r++ {
+					if r >= j && r <= j+(XRegs-n) {
+						continue
+					}
+					il.m.Eq("agg_cut", model.NewExpr().
+						Add(1, il.colorCol[colorKey{v, b, r}]), 0)
+				}
+			}
+		}
+	}
+	// Same-register couplings (hash, bit-test-set; §9).
+	for _, sr := range g.sameRegs {
+		for r := 0; r < XRegs; r++ {
+			d, ok1 := il.colorCol[colorKey{sr.dst, sr.dstBank, r}]
+			s, ok2 := il.colorCol[colorKey{sr.src, sr.srcBank, r}]
+			if !ok1 || !ok2 {
+				continue
+			}
+			il.m.Eq("same_reg", model.NewExpr().Add(1, d).Add(-1, s), 0)
+		}
+	}
+	// Rename color links: a jump argument and the block parameter it
+	// feeds occupy the same location at the edge; if that location is
+	// a transfer bank, their register numbers must agree (transfer
+	// registers cannot be copied at a block boundary without an ALU
+	// move, which the model would have to pay for explicitly).
+	for _, rn := range g.renames {
+		root := g.find(rn.paramLoc)
+		for _, b := range g.locAllow[root].banks() {
+			if !b.IsXfer() {
+				continue
+			}
+			pcol := il.pos(rn.paramLoc, b)
+			if pcol < 0 {
+				continue
+			}
+			for r := 0; r < XRegs; r++ {
+				ca, ok1 := il.colorCol[colorKey{rn.arg, b, r}]
+				cp, ok2 := il.colorCol[colorKey{rn.param, b, r}]
+				if !ok1 || !ok2 {
+					continue
+				}
+				il.m.Le("rename_color", model.NewExpr().
+					Add(1, ca).Add(-1, cp).Add(1, pcol), 1)
+				il.m.Le("rename_color", model.NewExpr().
+					Add(-1, ca).Add(1, cp).Add(1, pcol), 1)
+			}
+		}
+	}
+	// Clone color links (§10): immediately after the clone, original
+	// and clone share bank and color; if that bank is a transfer bank,
+	// their colors there must agree.
+	for _, cl := range g.cloneLinks {
+		root := g.find(cl.dLoc)
+		for _, b := range g.locAllow[root].banks() {
+			if !b.IsXfer() {
+				continue
+			}
+			pcol := il.pos(cl.dLoc, b)
+			if pcol < 0 {
+				continue
+			}
+			for r := 0; r < XRegs; r++ {
+				cd, ok1 := il.colorCol[colorKey{cl.d, b, r}]
+				cs, ok2 := il.colorCol[colorKey{cl.s, b, r}]
+				if !ok1 || !ok2 {
+					continue
+				}
+				// pos[b] = 1 -> Color[d,b,r] = Color[s,b,r]:
+				// |cd - cs| <= 1 - pos[b].
+				il.m.Le("clone_color", model.NewExpr().
+					Add(1, cd).Add(-1, cs).Add(1, pcol), 1)
+				il.m.Le("clone_color", model.NewExpr().
+					Add(-1, cd).Add(1, cs).Add(1, pcol), 1)
+			}
+		}
+	}
+}
+
+// spillRegs emits the §9 "K and spilling for transfer banks"
+// machinery, only at points where a spill move is possible: spills
+// into M pass through an S register, reloads from M pass through L, so
+// a spare register must exist there.
+func (il *ilp) spillRegs() {
+	g := il.g
+	for p := 0; p < g.npoints; p++ {
+		arcIdxs := il.arcsAt[pointID(p)]
+		if len(arcIdxs) == 0 {
+			continue
+		}
+		// A spare register can only be missing when the bank may
+		// actually fill: count the webs that could occupy it here.
+		full := map[Bank]bool{}
+		for _, bank := range []Bank{L, S} {
+			occ := map[locID]bool{}
+			for _, list := range [][]locEntry{g.beforeLocs[p], g.afterLocs[p]} {
+				for _, le := range list {
+					root := g.find(le.loc)
+					if g.locAllow[root].has(bank) {
+						occ[root] = true
+					}
+				}
+			}
+			full[bank] = len(occ) >= XRegs
+		}
+		if !full[L] && !full[S] {
+			continue
+		}
+		// Moves through S: x -> M with x in {A, B, L} (path via S).
+		// Moves through L: M -> x with x in {A, B, S}.
+		var viaS, viaL []int // indicator columns
+		for _, ai := range arcIdxs {
+			a := g.arcs[ai]
+			from, to := g.find(a.from), g.find(a.to)
+			if from == to {
+				continue
+			}
+			for _, b1 := range g.locAllow[from].banks() {
+				for _, b2 := range g.locAllow[to].banks() {
+					col, ok := il.moveIndicator(ai, b1, b2)
+					if !ok {
+						continue
+					}
+					if b2 == M && (b1 == A || b1 == B || b1 == L) {
+						viaS = append(viaS, col)
+					}
+					if b1 == M && (b2 == A || b2 == B || b2 == S) {
+						viaL = append(viaL, col)
+					}
+				}
+			}
+		}
+		for _, tb := range []struct {
+			bank Bank
+			cols []int
+		}{{S, viaS}, {L, viaL}} {
+			if len(tb.cols) == 0 || !full[tb.bank] {
+				continue
+			}
+			ns := il.m.Continuous("needsSpill", 0, 1, p, tb.bank)
+			for _, col := range tb.cols {
+				il.m.Ge("spill_need", model.NewExpr().Add(1, ns).Add(-1, col), 0)
+			}
+			il.maxCols = append(il.maxCols, maxCol{col: ns, of: append([]int(nil), tb.cols...)})
+			if g.opts.TightenSpill {
+				e := model.NewExpr().Add(-1, ns)
+				for _, col := range tb.cols {
+					e.Add(1, col)
+				}
+				il.m.Ge("spill_tight", e, 0)
+			}
+			// Occupancy of the bank at p: occupied[r] >= pos + color - 1.
+			occ := make([]int, XRegs)
+			occPairs := make([][][2]int, XRegs)
+			for r := range occ {
+				occ[r] = il.m.Continuous("occupied", 0, 1, p, tb.bank, r)
+			}
+			seen := map[locID]bool{}
+			for _, list := range [][]locEntry{g.beforeLocs[p], g.afterLocs[p]} {
+				for _, le := range list {
+					root := g.find(le.loc)
+					if seen[root] {
+						continue
+					}
+					seen[root] = true
+					pcol := il.pos(le.loc, tb.bank)
+					if pcol < 0 {
+						continue
+					}
+					for r := 0; r < XRegs; r++ {
+						ccol, ok := il.colorCol[colorKey{le.v, tb.bank, r}]
+						if !ok {
+							continue
+						}
+						il.m.Ge("occupied_ge", model.NewExpr().
+							Add(1, occ[r]).Add(-1, pcol).Add(-1, ccol), -1)
+						occPairs[r] = append(occPairs[r], [2]int{pcol, ccol})
+					}
+				}
+			}
+			for r := range occ {
+				il.occCols = append(il.occCols, occCol{col: occ[r], pairs: occPairs[r]})
+			}
+			e := model.NewExpr().Add(1, ns)
+			for r := 0; r < XRegs; r++ {
+				e.Add(1, occ[r])
+			}
+			il.m.Le("K_xfer", e, float64(XRegs))
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cps"
+	"repro/internal/mir"
+)
+
+// pruneBanks computes the allowed bank set per temporary (§8 of the
+// paper: "if a temporary is loaded from SRAM memory and is never
+// stored back anywhere, then there is no reason for it to ever be in
+// S, SD, or LD"). Every temp may use the general banks and the spill
+// space; transfer banks are added only when a definition arrives there
+// or a use requires them.
+func (g *graph) pruneBanks() []bankSet {
+	nt := g.mp.NumTemps()
+	allowed := make([]bankSet, nt)
+	base := setOf(A, B)
+	if !g.opts.NoSpill {
+		base = base.add(M)
+	}
+	if !g.opts.Prune {
+		all := allBanksNoC
+		if g.opts.NoSpill {
+			all = all.del(M)
+		}
+		for i := range allowed {
+			allowed[i] = all
+			if g.opts.Remat && g.isConst[i] {
+				allowed[i] = allowed[i].add(C)
+			}
+		}
+		return allowed
+	}
+	for i := range allowed {
+		allowed[i] = base
+		if g.opts.Remat && g.isConst[i] {
+			allowed[i] = allowed[i].add(C)
+		}
+	}
+	for _, b := range g.mp.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Kind {
+			case mir.KMemRead:
+				bank := readBank(in.Space)
+				for _, d := range in.Dsts {
+					allowed[d] = allowed[d].add(bank)
+				}
+			case mir.KMemWrite:
+				bank := writeBank(in.Space)
+				for _, s := range in.Srcs[1:] {
+					if !s.IsImm {
+						allowed[s.Temp] = allowed[s.Temp].add(bank)
+					}
+				}
+			case mir.KSpecial:
+				switch in.Special {
+				case cps.SpecHash:
+					allowed[in.Srcs[0].Temp] = allowed[in.Srcs[0].Temp].add(S)
+					allowed[in.Dsts[0]] = allowed[in.Dsts[0]].add(L)
+				case cps.SpecBTS:
+					allowed[in.Srcs[1].Temp] = allowed[in.Srcs[1].Temp].add(S)
+					allowed[in.Dsts[0]] = allowed[in.Dsts[0]].add(L)
+				case cps.SpecCSRRead:
+					allowed[in.Dsts[0]] = allowed[in.Dsts[0]].add(L)
+				case cps.SpecCSRWrite:
+					allowed[in.Srcs[1].Temp] = allowed[in.Srcs[1].Temp].add(S)
+				}
+			}
+		}
+	}
+	// Clones share residency possibilities with their set: a clone that
+	// must reach S starts wherever its source lives.
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.mp.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Kind != mir.KClone {
+					continue
+				}
+				d, s := in.Dsts[0], in.Srcs[0].Temp
+				// The clone begins in its source's location, so every
+				// bank the source may occupy is a possible start for
+				// the clone and vice versa (they are unified at the
+				// clone point).
+				u := allowed[d] | allowed[s]
+				if u != allowed[d] || u != allowed[s] {
+					allowed[d], allowed[s] = u, u
+					changed = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+func readBank(s cps.Space) Bank {
+	if s == cps.SpaceSDRAM {
+		return LD
+	}
+	return L
+}
+
+func writeBank(s cps.Space) Bank {
+	if s == cps.SpaceSDRAM {
+		return SD
+	}
+	return S
+}
+
+// blockEvents gathers, per temp, the sorted event points inside one
+// block: places where a move opportunity exists.
+type chainBuilder struct {
+	g       *graph
+	b       *mir.Block
+	base    pointID
+	allowed []bankSet
+	// narrowings per (temp, point): operand classes to intersect into
+	// the post-move location at that point.
+	narrow map[mir.Temp]map[int]bankSet
+	events map[mir.Temp]map[int]bool
+}
+
+func (g *graph) buildBlock(b *mir.Block, lv *mir.Liveness, base pointID, allowed []bankSet) error {
+	cb := &chainBuilder{
+		g: g, b: b, base: base, allowed: allowed,
+		narrow: map[mir.Temp]map[int]bankSet{},
+		events: map[mir.Temp]map[int]bool{},
+	}
+	return cb.run(lv)
+}
+
+func (cb *chainBuilder) event(v mir.Temp, idx int) {
+	if cb.events[v] == nil {
+		cb.events[v] = map[int]bool{}
+	}
+	cb.events[v][idx] = true
+}
+
+func (cb *chainBuilder) narrowAt(v mir.Temp, idx int, s bankSet) {
+	cb.event(v, idx)
+	if cb.narrow[v] == nil {
+		cb.narrow[v] = map[int]bankSet{}
+	}
+	if cur, ok := cb.narrow[v][idx]; ok {
+		cb.narrow[v][idx] = cur.intersect(s)
+	} else {
+		cb.narrow[v][idx] = s
+	}
+}
+
+var readableSet = setOf(A, B, L, LD)
+var abwSet = setOf(A, B, S, SD)
+
+func (cb *chainBuilder) run(lv *mir.Liveness) error {
+	g, b := cb.g, cb.b
+	nInstr := len(b.Instrs)
+	exitIdx := nInstr
+	if _, isBr := b.Term.(*mir.Branch); isBr {
+		exitIdx++
+	}
+	pt := func(idx int) pointID { return cb.base + pointID(idx) }
+
+	// Live sets per point index.
+	liveAt := make([]map[mir.Temp]bool, exitIdx+1)
+	for k := 0; k <= nInstr; k++ {
+		liveAt[k] = lv.LiveBefore(g.mp, b, k)
+	}
+	if exitIdx > nInstr {
+		liveAt[exitIdx] = lv.Out[b.ID]
+	}
+
+	// Definition records: temp -> (instr index, arrival bank set,
+	// whether part of an aggregate).
+	type defRec struct {
+		idx    int
+		arrive bankSet
+	}
+	defs := map[mir.Temp]defRec{}
+	type pendingPair struct {
+		x, y mir.Temp
+		idx  int
+	}
+	var pendingPairs []pendingPair
+
+	// Scan instructions: collect events, narrowings, aggregates,
+	// same-register pairs, and clone links.
+	type clonePending struct {
+		d, s mir.Temp
+		idx  int
+	}
+	var clones []clonePending
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Kind {
+		case mir.KALU:
+			var ops []mir.Temp
+			for _, s := range in.Srcs {
+				if !s.IsImm {
+					ops = append(ops, s.Temp)
+					cb.narrowAt(s.Temp, i, readableSet)
+				}
+			}
+			if len(ops) == 2 {
+				if ops[0] == ops[1] {
+					return fmt.Errorf("core: instruction %q uses %s twice; SSU should have cloned it",
+						g.mp.FormatInstr(in), g.mp.TempName(ops[0]))
+				}
+				pendingPairs = append(pendingPairs, pendingPair{ops[0], ops[1], i})
+			}
+			defs[in.Dsts[0]] = defRec{idx: i, arrive: abwSet}
+		case mir.KImm:
+			arrive := abwSet
+			if g.opts.Remat && g.isConst[in.Dsts[0]] {
+				arrive = setOf(C)
+			}
+			defs[in.Dsts[0]] = defRec{idx: i, arrive: arrive}
+		case mir.KMemRead:
+			cb.narrowAt(in.Srcs[0].Temp, i, readableSet)
+			bank := readBank(in.Space)
+			for _, d := range in.Dsts {
+				defs[d] = defRec{idx: i, arrive: setOf(bank)}
+			}
+			kind := fmt.Sprintf("DefL%d", len(in.Dsts))
+			if bank == LD {
+				kind = fmt.Sprintf("DefLD%d", len(in.Dsts))
+			}
+			g.aggs = append(g.aggs, aggregate{bank: bank, temps: append([]mir.Temp(nil), in.Dsts...), kind: kind})
+		case mir.KMemWrite:
+			cb.narrowAt(in.Srcs[0].Temp, i, readableSet)
+			bank := writeBank(in.Space)
+			var temps []mir.Temp
+			for _, s := range in.Srcs[1:] {
+				if s.IsImm {
+					return fmt.Errorf("core: immediate store operand survived isel")
+				}
+				cb.narrowAt(s.Temp, i, setOf(bank))
+				temps = append(temps, s.Temp)
+			}
+			kind := fmt.Sprintf("UseS%d", len(temps))
+			if bank == SD {
+				kind = fmt.Sprintf("UseSD%d", len(temps))
+			}
+			g.aggs = append(g.aggs, aggregate{bank: bank, temps: temps, kind: kind})
+		case mir.KSpecial:
+			switch in.Special {
+			case cps.SpecHash:
+				cb.narrowAt(in.Srcs[0].Temp, i, setOf(S))
+				defs[in.Dsts[0]] = defRec{idx: i, arrive: setOf(L)}
+				g.sameRegs = append(g.sameRegs, sameRegCon{dst: in.Dsts[0], src: in.Srcs[0].Temp, dstBank: L, srcBank: S})
+			case cps.SpecBTS:
+				cb.narrowAt(in.Srcs[0].Temp, i, readableSet)
+				cb.narrowAt(in.Srcs[1].Temp, i, setOf(S))
+				defs[in.Dsts[0]] = defRec{idx: i, arrive: setOf(L)}
+				g.sameRegs = append(g.sameRegs, sameRegCon{dst: in.Dsts[0], src: in.Srcs[1].Temp, dstBank: L, srcBank: S})
+			case cps.SpecCSRRead:
+				cb.narrowAt(in.Srcs[0].Temp, i, readableSet)
+				defs[in.Dsts[0]] = defRec{idx: i, arrive: setOf(L)}
+			case cps.SpecCSRWrite:
+				cb.narrowAt(in.Srcs[0].Temp, i, readableSet)
+				cb.narrowAt(in.Srcs[1].Temp, i, setOf(S))
+			case cps.SpecCtxSwap:
+				// no operands
+			}
+		case mir.KClone:
+			clones = append(clones, clonePending{d: in.Dsts[0], s: in.Srcs[0].Temp, idx: i})
+			// The clone's chain starts at i+1 via a unified arrival;
+			// recorded after chains are built.
+		case mir.KMove:
+			return fmt.Errorf("core: KMove before allocation")
+		}
+	}
+	// Terminator uses.
+	switch t := b.Term.(type) {
+	case *mir.Branch:
+		var ops []mir.Temp
+		for _, o := range []mir.Operand{t.L, t.R} {
+			if !o.IsImm {
+				ops = append(ops, o.Temp)
+				cb.narrowAt(o.Temp, nInstr, readableSet)
+			}
+		}
+		if len(ops) == 2 {
+			if ops[0] == ops[1] {
+				return fmt.Errorf("core: branch compares %s with itself; SSU should have cloned it",
+					g.mp.TempName(ops[0]))
+			}
+			pendingPairs = append(pendingPairs, pendingPair{ops[0], ops[1], nInstr})
+		}
+		if len(t.Then.Args) > 0 || len(t.Else.Args) > 0 {
+			return fmt.Errorf("core: branch edges with arguments are not produced by isel")
+		}
+	case *mir.Jump:
+		for _, a := range t.Edge.Args {
+			if !a.IsImm {
+				cb.event(a.Temp, nInstr)
+			}
+		}
+	case *mir.Halt:
+		for _, r := range t.Results {
+			if !r.IsImm {
+				cb.narrowAt(r.Temp, nInstr, readableSet)
+			}
+		}
+	}
+	// Entry and exit events for block-crossing variables.
+	for v := range liveAt[0] {
+		cb.event(v, 0)
+	}
+	for v := range lv.Out[b.ID] {
+		cb.event(v, exitIdx) // exit point: after the branch if any
+	}
+	// With coarsening off, every live point is an event (the paper's
+	// per-point move model).
+	if !cb.g.opts.Coarsen {
+		for k := 0; k <= exitIdx; k++ {
+			for v := range liveAt[k] {
+				cb.event(v, k)
+			}
+		}
+	}
+
+	// Build chains per temp that has a definition or events here.
+	temps := map[mir.Temp]bool{}
+	for v := range cb.events {
+		temps[v] = true
+	}
+	for v := range defs {
+		temps[v] = true
+	}
+	cloneDst := map[mir.Temp]clonePending{}
+	for _, c := range clones {
+		cloneDst[c.d] = c
+		temps[c.d] = true
+	}
+	postLoc := map[mir.Temp]map[int]locID{} // for pair constraints
+
+	for _, v := range sortedTemps(temps) {
+		var runs []activeRun
+		var cur locID = -1
+		startIdx := 0
+		if d, isDef := defs[v]; isDef {
+			arrive := d.arrive.intersect(cb.allowed[v])
+			if g.opts.Remat && g.isConst[v] && d.arrive.has(C) {
+				arrive = setOf(C)
+			}
+			if arrive == 0 {
+				return fmt.Errorf("core: temp %s has no feasible arrival bank", g.mp.TempName(v))
+			}
+			cur = g.newLoc(v, arrive)
+			runs = append(runs, activeRun{from: pt(d.idx + 1), loc: cur})
+			startIdx = d.idx + 1
+			cb.event(v, d.idx+1) // post-definition move opportunity
+		} else if cp, isClone := cloneDst[v]; isClone {
+			// Arrival location unified with the source's location at
+			// the clone point (After[p1], §10).
+			cur = g.newLoc(v, cb.allowed[v])
+			runs = append(runs, activeRun{from: pt(cp.idx + 1), loc: cur})
+			startIdx = cp.idx + 1
+			cb.event(v, cp.idx+1)
+			g.cloneLinks = append(g.cloneLinks, cloneLink{
+				dLoc: cur, d: v, s: cp.s, sLoc: -1, point: pt(cp.idx),
+			})
+		} else {
+			// Live-in (parameter or live-through): arrival at entry.
+			allow := cb.allowed[v]
+			if b.ID == 0 {
+				// Program entry: the host ABI delivers arguments in
+				// registers, never in spill memory or the virtual
+				// constant bank.
+				allow = allow.del(M).del(C)
+				if allow == 0 {
+					return fmt.Errorf("core: entry parameter %s has no register bank", g.mp.TempName(v))
+				}
+			}
+			cur = g.newLoc(v, allow)
+			runs = append(runs, activeRun{from: pt(0), loc: cur})
+			startIdx = 0
+		}
+		// Event points in order.
+		var evs []int
+		for idx := range cb.events[v] {
+			if idx >= startIdx {
+				evs = append(evs, idx)
+			}
+		}
+		sort.Ints(evs)
+		for _, idx := range evs {
+			allow := cb.allowed[v]
+			if n, ok := cb.narrow[v][idx]; ok {
+				allow = allow.intersect(n)
+				if g.opts.Remat && g.isConst[v] {
+					// Constants can always re-materialize into the
+					// required class; C itself is excluded at uses.
+					allow = allow.del(C)
+				}
+			} else if g.opts.Remat && g.isConst[v] {
+				allow = allow.add(C)
+			}
+			if allow == 0 {
+				return fmt.Errorf("core: temp %s has no feasible bank at %s (instr %d)",
+					g.mp.TempName(v), g.pointTag[pt(idx)], idx)
+			}
+			post := g.newLoc(v, allow)
+			g.arcs = append(g.arcs, arc{v: v, from: cur, to: post, point: pt(idx)})
+			runs = append(runs, activeRun{from: pt(idx), loc: post})
+			cur = post
+			if postLoc[v] == nil {
+				postLoc[v] = map[int]locID{}
+			}
+			postLoc[v][idx] = post
+		}
+		g.active[v] = append(g.active[v], runs...)
+	}
+	// Clone arrival unification (source location now known).
+	for i := range g.cloneLinks {
+		cl := &g.cloneLinks[i]
+		if cl.sLoc >= 0 {
+			continue
+		}
+		s := g.activeLocAt(cl.s, cl.point)
+		if s < 0 {
+			return fmt.Errorf("core: clone source %s has no location at %s",
+				g.mp.TempName(cl.s), g.pointTag[cl.point])
+		}
+		cl.sLoc = s
+		g.union(cl.dLoc, s)
+	}
+	// Pair constraints on the post-move locations at the use point.
+	for _, pp := range pendingPairs {
+		g.pairs = append(g.pairs, pair{x: postLoc[pp.x][pp.idx], y: postLoc[pp.y][pp.idx]})
+	}
+	// Per-point occupancy lists (the Exists set with before/after
+	// sides, §6 K constraints).
+	for k := 0; k <= exitIdx; k++ {
+		p := pt(k)
+		counted := map[mir.Temp]bool{}
+		for v := range liveAt[k] {
+			counted[v] = true
+		}
+		// Defs arriving at this point also exist here even if dead
+		// (the paper's Exists ⊇ live distinction).
+		for v, d := range defs {
+			if d.idx+1 == k {
+				counted[v] = true
+			}
+		}
+		for _, c := range clones {
+			if c.idx+1 == k {
+				counted[c.d] = true
+			}
+		}
+		for _, v := range sortedTemps(counted) {
+			before := g.beforeLocAt(v, p)
+			after := g.activeLocAt(v, p)
+			if before >= 0 {
+				g.beforeLocs[p] = append(g.beforeLocs[p], locEntry{v: v, loc: before})
+			}
+			if after >= 0 {
+				g.afterLocs[p] = append(g.afterLocs[p], locEntry{v: v, loc: after})
+			}
+		}
+	}
+	return nil
+}
+
+// beforeLocAt returns v's location just before any move at p: the
+// arrival run starting exactly at p if the temp was just defined, else
+// the last run starting strictly before p.
+func (g *graph) beforeLocAt(v mir.Temp, p pointID) locID {
+	runs := g.active[v]
+	best := locID(-1)
+	for _, r := range runs {
+		if r.from < p {
+			best = r.loc
+		} else if r.from == p {
+			// Arrival runs are recorded before post-move runs at the
+			// same point; take the first run at p only if nothing
+			// earlier exists (a fresh definition).
+			if best < 0 {
+				best = r.loc
+			}
+			break
+		} else {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestDebugCoarse(t *testing.T) {
+	src := `
+fun main() -> word {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f) = sram[2](200);
+  let u = a + c;
+  sram(300) <- (b, e, u);
+  u + f
+}`
+	for _, coarse := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.Coarsen = coarse
+		mp := lower(t, src)
+		res, err := Allocate(mp, opts, nil)
+		if err != nil {
+			t.Fatalf("coarse=%v: %v", coarse, err)
+		}
+		t.Logf("coarse=%v: status=%v obj=%v root=%v nodes=%d cost=%v moves=%d",
+			coarse, res.MIP.Status, res.MIP.Obj, res.MIP.RootObj, res.MIP.Nodes, res.WeightedCost(), len(res.Moves))
+		for _, m := range res.Moves {
+			t.Logf("  move %s: %v->%v at point %d (w=%.2f)", mp.TempName(m.V), m.From, m.To, m.Point, m.Weight)
+		}
+		if err := Verify(res); err != nil {
+			t.Errorf("coarse=%v verify: %v", coarse, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mip"
+)
+
+// TestDebugFigure3 prints model statistics and solver behaviour for the
+// Figure 3 program; it is the canary for solver performance.
+func TestDebugFigure3(t *testing.T) {
+	src := `
+fun main() {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f, g, h, i, j) = sram[6](200);
+  let u = a + c;
+  let v = g + h;
+  sram(300) <- (b, e, v, u);
+  sram(500) <- (f, j, d, i);
+}`
+	mp := lower(t, src)
+	g, err := buildGraph(mp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	il, err := buildModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := il.m.Stats()
+	t.Logf("model: %d vars, %d cons, %d nnz, %d obj terms", st.Vars, st.Constraints, st.Nonzeros, st.ObjTerms)
+	t.Logf("families: %+v", st.Families)
+
+	calls, successes := 0, 0
+	opts := &mip.Options{
+		Time:     20 * time.Second,
+		MaxNodes: 2000,
+		Heuristic: func(x []float64) ([]float64, bool) {
+			calls++
+			out, ok := il.heuristic(x)
+			if ok {
+				successes++
+			}
+			return out, ok
+		},
+	}
+	prio := make([]int, il.m.LP().NumCols())
+	for _, col := range il.posCol {
+		prio[col] = 2
+	}
+	for _, col := range il.colorCol {
+		prio[col] = 1
+	}
+	opts.Priority = prio
+	res, err := il.m.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("status=%v obj=%v root=%v nodes=%d rootTime=%v total=%v lpIters=%d",
+		res.Status, res.Obj, res.RootObj, res.Nodes, res.RootTime, res.Time, res.LPIters)
+	t.Logf("heuristic: %d calls, %d successes", calls, successes)
+}

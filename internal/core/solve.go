@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/mir"
+	"repro/internal/model"
+)
+
+// MoveRec is one physical relocation chosen by the solver.
+type MoveRec struct {
+	Point    int
+	Block    mir.BlockID
+	Index    int // instruction index within the block the move precedes
+	V        mir.Temp
+	From, To Bank
+	Weight   float64
+	// CloneDup marks the second and later moves of one clone set with
+	// identical endpoints at one point: the objective counts the
+	// collection once (§10), but each is still a physical instruction.
+	CloneDup bool
+}
+
+// Result is the allocation computed by the ILP (§5-§10): a bank for
+// every temporary at every program point, colors (register numbers)
+// for transfer-bank residents, and the inter-bank moves and spills the
+// objective charged for.
+type Result struct {
+	Opts       Options
+	ModelStats model.Stats
+	MIP        *mip.Result
+	// ObjConst is the cost of moves forced by pinned-bank arcs,
+	// excluded from the LP objective; MIP.Obj + ObjConst is the total
+	// weighted move cost.
+	ObjConst float64
+
+	// BankOf assigns a bank to every location web root.
+	bankOf map[locID]Bank
+	// ColorOf[v][b] is v's register number in transfer bank b.
+	ColorOf map[mir.Temp]map[Bank]int
+
+	Moves  []MoveRec
+	Remats int // materializations from the constant bank C
+	Spills int // moves into the spill space M
+
+	graph *graph
+	model *model.Model
+}
+
+// WriteLP exports the solved integer program in CPLEX LP format, for
+// cross-checking against an external solver.
+func (r *Result) WriteLP(w io.Writer) error { return r.model.WriteLP(w) }
+
+// Allocate runs the complete ILP-based register/bank allocation for a
+// MIR program (after SSU). The mipOpts default to the paper's 0.01%
+// gap.
+func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, error) {
+	g, err := buildGraph(mp, opts)
+	if err != nil {
+		return nil, err
+	}
+	il, err := buildModel(g)
+	if err != nil {
+		return nil, err
+	}
+	if mipOpts == nil {
+		mipOpts = &mip.Options{}
+	}
+	if mipOpts.Priority == nil {
+		// Branch banks before colors: colors are symmetric and are
+		// completed combinatorially by the heuristic once banks are
+		// integral.
+		prio := make([]int, il.m.LP().NumCols())
+		for _, col := range il.posCol {
+			prio[col] = 2
+		}
+		for _, col := range il.colorCol {
+			prio[col] = 1
+		}
+		mipOpts.Priority = prio
+	}
+	if mipOpts.Heuristic == nil {
+		mipOpts.Heuristic = il.heuristic
+	}
+	// The relative gap is measured against the full move cost,
+	// including the part fixed by pinned arcs.
+	mipOpts.ObjOffset = il.objConst
+	res, err := il.m.Solve(mipOpts)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case mip.Optimal:
+	case mip.Infeasible:
+		return nil, fmt.Errorf("core: allocation model infeasible (program needs more registers than exist)")
+	default:
+		if res.X == nil {
+			return nil, fmt.Errorf("core: solver gave up (%v) with no incumbent", res.Status)
+		}
+		// A feasible incumbent within the node/time budget is usable.
+	}
+	return il.extract(res)
+}
+
+// extract reads the solution back into a Result.
+func (il *ilp) extract(res *mip.Result) (*Result, error) {
+	g := il.g
+	out := &Result{
+		Opts:       g.opts,
+		ModelStats: il.m.Stats(),
+		MIP:        res,
+		ObjConst:   il.objConst,
+		bankOf:     map[locID]Bank{},
+		ColorOf:    map[mir.Temp]map[Bank]int{},
+		graph:      g,
+		model:      il.m,
+	}
+	for _, r := range il.roots {
+		var chosen Bank = -1
+		for _, b := range g.locAllow[r].banks() {
+			if res.X[il.posCol[posKey{r, b}]] > 0.5 {
+				chosen = b
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("core: web of %s has no selected bank", g.mp.TempName(g.locTemp[r]))
+		}
+		out.bankOf[r] = chosen
+	}
+	for key, col := range il.colorCol {
+		if res.X[col] > 0.5 {
+			if out.ColorOf[key.v] == nil {
+				out.ColorOf[key.v] = map[Bank]int{}
+			}
+			out.ColorOf[key.v][key.bank] = key.reg
+		}
+	}
+	// Moves: arcs whose endpoint webs landed in different banks.
+	// Clone-group moves with identical endpoints at one point count
+	// once (§10).
+	seenClone := map[string]bool{}
+	pointBlock, pointIndex := g.pointPlacement()
+	for _, a := range g.arcs {
+		from, to := g.find(a.from), g.find(a.to)
+		if from == to {
+			continue
+		}
+		b1, b2 := out.bankOf[from], out.bankOf[to]
+		if b1 == b2 {
+			continue
+		}
+		dup := false
+		if set := g.cloneSet[a.v]; set >= 0 {
+			key := fmt.Sprintf("%d|%d|%d|%d", a.point, set, b1, b2)
+			dup = seenClone[key]
+			seenClone[key] = true
+		}
+		rec := MoveRec{
+			Point: int(a.point), Block: pointBlock[a.point], Index: pointIndex[a.point],
+			V: a.v, From: b1, To: b2, Weight: g.weight[a.point], CloneDup: dup,
+		}
+		out.Moves = append(out.Moves, rec)
+		if dup {
+			continue // counted once in the statistics (§10)
+		}
+		switch {
+		case b1 == C:
+			out.Remats++
+		case b2 == M:
+			out.Spills++
+		}
+	}
+	sort.Slice(out.Moves, func(i, j int) bool { return out.Moves[i].Point < out.Moves[j].Point })
+	return out, nil
+}
+
+// pointPlacement maps each point back to (block, instruction index).
+func (g *graph) pointPlacement() (map[pointID]mir.BlockID, map[pointID]int) {
+	blocks := map[pointID]mir.BlockID{}
+	idxs := map[pointID]int{}
+	p := pointID(0)
+	for _, b := range g.mp.Blocks {
+		n := len(b.Instrs) + 1
+		if _, isBr := b.Term.(*mir.Branch); isBr {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			blocks[p] = b.ID
+			idxs[p] = i
+			p++
+		}
+	}
+	return blocks, idxs
+}
+
+// BankAt returns the bank of temp v immediately after any move at
+// point p (the paper's After[p, v]).
+func (r *Result) BankAt(v mir.Temp, p int) (Bank, bool) {
+	l := r.graph.activeLocAt(v, pointID(p))
+	if l < 0 {
+		return 0, false
+	}
+	return r.bankOf[r.graph.find(l)], true
+}
+
+// BankBefore returns the bank of v just before any move at p.
+func (r *Result) BankBefore(v mir.Temp, p int) (Bank, bool) {
+	l := r.graph.beforeLocAt(v, pointID(p))
+	if l < 0 {
+		return 0, false
+	}
+	return r.bankOf[r.graph.find(l)], true
+}
+
+// NumMoves counts real register-register moves (excluding spills and
+// rematerializations), the paper's Figure 7 "Moves" column.
+func (r *Result) NumMoves() int {
+	n := 0
+	for _, m := range r.Moves {
+		if m.From != C && m.To != M && m.From != M && !m.CloneDup {
+			n++
+		}
+	}
+	return n
+}
+
+// WeightedCost reproduces the objective value from the extracted
+// solution, for verification.
+func (r *Result) WeightedCost() float64 {
+	total := 0.0
+	for _, m := range r.Moves {
+		if m.CloneDup {
+			continue // the objective charges a clone group once (§10)
+		}
+		var c float64
+		if m.From == C || m.To == C {
+			c = constCost(r.graph.constVal[m.V], m.From, m.To)
+		} else {
+			c = MoveCost(m.From, m.To)
+		}
+		if c < 0 {
+			continue
+		}
+		if r.Opts.BiasAB && m.From == B {
+			c *= Bias
+		}
+		total += m.Weight * c
+	}
+	return total
+}
+
+// Graph statistics used by the Figure 6 reproduction.
+type AggStats struct {
+	DefL, DefLD, UseS, UseSD int // total temps participating, by class
+}
+
+// AggregateStats counts the temps participating in aggregate
+// definitions and uses, as Figure 6 tabulates.
+func (r *Result) AggregateStats() AggStats {
+	return r.graph.aggregateStats()
+}
+
+func (g *graph) aggregateStats() AggStats {
+	var s AggStats
+	for _, a := range g.aggs {
+		switch a.bank {
+		case L:
+			s.DefL += len(a.temps)
+		case LD:
+			s.DefLD += len(a.temps)
+		case S:
+			s.UseS += len(a.temps)
+		case SD:
+			s.UseSD += len(a.temps)
+		}
+	}
+	return s
+}
+
+// SolveTimes returns the root relaxation and total integer times, as
+// Figure 7 reports.
+func (r *Result) SolveTimes() (root, total time.Duration) {
+	return r.MIP.RootTime, r.MIP.Time
+}

@@ -1,0 +1,1149 @@
+package cps
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/layout"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// Convert translates a type-checked Nova program into first-order CPS,
+// starting from the entry function. Following §4.3 of the paper, all
+// calls in non-tail position are fully inlined; tail calls to functions
+// that are (mutually) recursive become jumps to memoized per-
+// instantiation specializations. Records and tuples are flattened into
+// their word-sized leaves; booleans become control flow.
+//
+// The entry function's word-leaf parameters become the program's input
+// variables, and its result feeds Halt.
+func Convert(info *types.Info, entry string, errs *source.ErrorList) *Program {
+	c := &converter{
+		prog: NewProgram(),
+		info: info,
+		errs: errs,
+		memo: map[string]Label{},
+	}
+	var entryDecl *ast.FunDecl
+	globals := &scope{}
+	for name, v := range info.Consts {
+		globals = globals.bind(name, &valEnt{leaves: []Value{Const(v)}, t: types.Word{}})
+	}
+	for _, d := range info.Program.Decls {
+		if fd, ok := d.(*ast.FunDecl); ok {
+			fe := &funEnt{decl: fd, obj: info.Funs[fd]}
+			globals = globals.bind(fd.Name, fe)
+			if fd.Name == entry {
+				entryDecl = fd
+			}
+		}
+	}
+	// Tie the knot: top-level functions see each other.
+	for s := globals; s != nil; s = s.parent {
+		if fe, ok := s.ent.(*funEnt); ok {
+			fe.env = globals
+		}
+	}
+	if entryDecl == nil {
+		errs.Errorf(source.Span{}, "entry function %q not found", entry)
+		return c.prog
+	}
+	obj := info.Funs[entryDecl]
+	env := globals
+	var params []Var
+	for _, p := range obj.Type.Params {
+		leaves := c.freshLeaves(p.Name, p.Type)
+		params = append(params, varsOf(leaves)...)
+		env = env.bind(p.Name, &valEnt{leaves: leaves, t: p.Type})
+	}
+	ctx := &convCtx{ret: kont{f: func(leaves []Value) Term { return &Halt{Results: leaves} }}}
+	body := c.convBlock(env, ctx, entryDecl.Body, func(env2 *scope, leaves []Value) Term {
+		return ctx.ret.invoke(leaves)
+	})
+	l := c.prog.NewLabel()
+	c.prog.AddFun(&Fun{Label: l, Name: entry, Kind: KindFun, Params: params, Body: body})
+	c.prog.Entry = l
+	return c.prog
+}
+
+// ---------------------------------------------------------------------------
+// Environments and entities
+
+// scope is an immutable environment: binding creates a new node, so
+// function entities capture exactly the environment at their
+// definition point (compile-time closures; no runtime allocation).
+type scope struct {
+	name   string
+	ent    entity
+	parent *scope
+}
+
+func (s *scope) bind(name string, e entity) *scope {
+	return &scope{name: name, ent: e, parent: s}
+}
+
+func (s *scope) lookup(name string) (entity, bool) {
+	for n := s; n != nil; n = n.parent {
+		if n.name == name {
+			return n.ent, true
+		}
+	}
+	return nil, false
+}
+
+// entity is the compile-time denotation of a source name.
+type entity interface{ entity() }
+
+// valEnt is a first-class value: its flattened word leaves.
+type valEnt struct {
+	leaves []Value
+	t      types.Type
+}
+
+// funEnt is a function: its declaration plus definition environment.
+type funEnt struct {
+	decl *ast.FunDecl
+	obj  *types.FunObj
+	env  *scope
+}
+
+// exnEnt is an exception: the label of its handler continuation.
+type exnEnt struct {
+	label Label
+	t     types.Exn
+}
+
+func (*valEnt) entity() {}
+func (*funEnt) entity() {}
+func (*exnEnt) entity() {}
+
+// kont is a continuation: either a known label (invocation is a jump)
+// or a meta-continuation spliced inline.
+type kont struct {
+	label   Label
+	isLabel bool
+	f       func([]Value) Term
+}
+
+func (k kont) invoke(leaves []Value) Term {
+	if k.isLabel {
+		return &App{F: k.label, Args: leaves}
+	}
+	return k.f(leaves)
+}
+
+// convCtx carries the per-instantiation return continuation.
+type convCtx struct {
+	ret kont
+}
+
+type converter struct {
+	prog *Program
+	info *types.Info
+	errs *source.ErrorList
+	memo map[string]Label // tail-call specializations
+	// converting tracks function declarations whose bodies are on the
+	// conversion stack; calls to them are specialized, not inlined.
+	converting []*ast.FunDecl
+}
+
+func (c *converter) isConverting(fd *ast.FunDecl) bool {
+	for _, d := range c.converting {
+		if d == fd {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *converter) freshLeaves(name string, t types.Type) []Value {
+	flat := types.Flatten(t)
+	leaves := make([]Value, len(flat))
+	for i, lf := range flat {
+		n := name
+		if lf.Path != "" {
+			n = name + "." + lf.Path
+		}
+		leaves[i] = c.prog.NewVar(n)
+	}
+	return leaves
+}
+
+func varsOf(leaves []Value) []Var {
+	out := make([]Var, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.(Var)
+	}
+	return out
+}
+
+// reify turns a meta-continuation into a label so it can be shared by
+// several predecessors without duplicating its body. Already-labeled
+// continuations are returned unchanged.
+func (c *converter) reify(k kont, resultT types.Type, name string) kont {
+	if k.isLabel {
+		return k
+	}
+	leaves := c.freshLeaves(name, resultT)
+	body := k.f(leaves)
+	// Eta reduction: a continuation that merely forwards its parameters
+	// to an existing label IS that label. Without this, every tail call
+	// would reify a fresh wrapper and the specialization memo would
+	// never hit, unrolling loops forever.
+	if app, ok := body.(*App); ok && len(app.Args) == len(leaves) {
+		eta := true
+		for i, a := range app.Args {
+			if a != leaves[i] {
+				eta = false
+				break
+			}
+		}
+		if eta {
+			return kont{label: app.F, isLabel: true}
+		}
+	}
+	l := c.prog.NewLabel()
+	c.prog.AddFun(&Fun{Label: l, Name: name, Kind: KindCont,
+		Params: varsOf(leaves), Body: body})
+	return kont{label: l, isLabel: true}
+}
+
+// ---------------------------------------------------------------------------
+// Blocks and statements
+
+// blockK receives the block's result leaves together with the
+// environment in effect at the end of the block.
+type blockK func(env *scope, leaves []Value) Term
+
+func (c *converter) convBlock(env *scope, ctx *convCtx, b *ast.Block, k blockK) Term {
+	return c.convStmts(env, ctx, b, 0, k)
+}
+
+func (c *converter) convStmts(env *scope, ctx *convCtx, b *ast.Block, i int, k blockK) Term {
+	if i >= len(b.Stmts) {
+		if b.Result == nil {
+			return k(env, nil)
+		}
+		return c.convExpr(env, ctx, b.Result, func(leaves []Value) Term {
+			return k(env, leaves)
+		})
+	}
+	switch s := b.Stmts[i].(type) {
+	case *ast.LetStmt:
+		return c.convExpr(env, ctx, s.X, func(leaves []Value) Term {
+			env2 := c.bindLet(env, s, leaves)
+			return c.convStmts(env2, ctx, b, i+1, k)
+		})
+	case *ast.ExprStmt:
+		return c.convExpr(env, ctx, s.X, func([]Value) Term {
+			return c.convStmts(env, ctx, b, i+1, k)
+		})
+	case *ast.StoreStmt:
+		return c.convStore(env, ctx, s, func() Term {
+			return c.convStmts(env, ctx, b, i+1, k)
+		})
+	case *ast.FunStmt:
+		// Bind the whole run of consecutive fun declarations mutually.
+		j := i
+		var ents []*funEnt
+		env2 := env
+		for j < len(b.Stmts) {
+			fs, ok := b.Stmts[j].(*ast.FunStmt)
+			if !ok {
+				break
+			}
+			fe := &funEnt{decl: fs.Fun, obj: c.info.Funs[fs.Fun]}
+			env2 = env2.bind(fs.Fun.Name, fe)
+			ents = append(ents, fe)
+			j++
+		}
+		for _, fe := range ents {
+			fe.env = env2
+		}
+		return c.convStmts(env2, ctx, b, j, k)
+	case *ast.WhileStmt:
+		return c.convWhile(env, ctx, s, func(env2 *scope) Term {
+			return c.convStmts(env2, ctx, b, i+1, k)
+		})
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			return ctx.ret.invoke(nil)
+		}
+		return c.convExpr(env, ctx, s.X, func(leaves []Value) Term {
+			return ctx.ret.invoke(leaves)
+		})
+	default:
+		c.errs.Errorf(s.Span(), "cps: unsupported statement %T", s)
+		return c.convStmts(env, ctx, b, i+1, k)
+	}
+}
+
+func (c *converter) bindLet(env *scope, s *ast.LetStmt, leaves []Value) *scope {
+	t := c.info.TypeOf(s.X)
+	if len(s.Names) == 1 {
+		if s.Names[0] == "_" {
+			return env
+		}
+		return env.bind(s.Names[0], &valEnt{leaves: leaves, t: t})
+	}
+	tup := types.Expand(t).(types.Tuple)
+	off := 0
+	for i, n := range s.Names {
+		cnt := types.WordCount(tup.Elems[i])
+		if n != "_" {
+			env = env.bind(n, &valEnt{leaves: leaves[off : off+cnt], t: tup.Elems[i]})
+		}
+		off += cnt
+	}
+	return env
+}
+
+func (c *converter) convStore(env *scope, ctx *convCtx, s *ast.StoreStmt, k func() Term) Term {
+	return c.convExpr(env, ctx, s.Addr, func(addr []Value) Term {
+		return c.convExprList(env, ctx, s.Values, func(leaves []Value) Term {
+			switch s.Op {
+			case ast.OpCSR:
+				return &Special{Kind: SpecCSRWrite, Args: append(addr, leaves...), K: k()}
+			default:
+				return &MemWrite{Space: storeSpace(s.Op), Addr: addr[0], Srcs: leaves, K: k()}
+			}
+		})
+	})
+}
+
+func storeSpace(op ast.IntrinsicOp) Space {
+	switch op {
+	case ast.OpSRAM:
+		return SpaceSRAM
+	case ast.OpSDRAM:
+		return SpaceSDRAM
+	case ast.OpScratch:
+		return SpaceScratch
+	case ast.OpTFIFO:
+		return SpaceTFIFO
+	}
+	panic("cps: not a writable space")
+}
+
+// convWhile compiles a loop into a header continuation. Bindings made
+// at the body's top level that shadow loop-external variables are
+// loop-carried: their end-of-body values feed the next iteration.
+func (c *converter) convWhile(env *scope, ctx *convCtx, s *ast.WhileStmt, k func(*scope) Term) Term {
+	carried := carriedNames(env, s.Body)
+	// Current leaves of the carried variables form the initial loop args.
+	var initArgs []Value
+	var carriedTypes []types.Type
+	for _, name := range carried {
+		ent, _ := env.lookup(name)
+		ve := ent.(*valEnt)
+		initArgs = append(initArgs, ve.leaves...)
+		carriedTypes = append(carriedTypes, ve.t)
+	}
+	header := c.prog.NewLabel()
+	// Header params: fresh leaves for every carried variable.
+	var params []Var
+	henv := env
+	for i, name := range carried {
+		leaves := c.freshLeaves(name, carriedTypes[i])
+		params = append(params, varsOf(leaves)...)
+		henv = henv.bind(name, &valEnt{leaves: leaves, t: carriedTypes[i]})
+	}
+	// Exit continuation: proceed with the header's view of the carried
+	// variables (their values when the condition turned false).
+	exit := c.reify(kont{f: func([]Value) Term { return k(henv) }}, types.Unit, "while_exit")
+	body := c.convBool(henv, ctx, s.Cond,
+		func() Term {
+			return c.convBlock(henv, ctx, s.Body, func(benv *scope, _ []Value) Term {
+				var next []Value
+				for _, name := range carried {
+					ent, _ := benv.lookup(name)
+					next = append(next, ent.(*valEnt).leaves...)
+				}
+				return &App{F: header, Args: next}
+			})
+		},
+		func() Term { return exit.invoke(nil) })
+	c.prog.AddFun(&Fun{Label: header, Name: "while", Kind: KindLoop, Params: params, Body: body})
+	return &App{F: header, Args: initArgs}
+}
+
+// carriedNames returns, in a deterministic order, the names rebound at
+// the top level of the loop body that shadow word-leaf bindings
+// visible outside the loop.
+func carriedNames(env *scope, b *ast.Block) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range b.Stmts {
+		ls, ok := s.(*ast.LetStmt)
+		if !ok {
+			continue
+		}
+		for _, n := range ls.Names {
+			if n == "_" || seen[n] {
+				continue
+			}
+			if ent, ok := env.lookup(n); ok {
+				if _, isVal := ent.(*valEnt); isVal {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (c *converter) convExprList(env *scope, ctx *convCtx, es []ast.Expr, k func([]Value) Term) Term {
+	var all []Value
+	var rec func(i int) Term
+	rec = func(i int) Term {
+		if i >= len(es) {
+			return k(all)
+		}
+		return c.convExpr(env, ctx, es[i], func(leaves []Value) Term {
+			all = append(all, leaves...)
+			return rec(i + 1)
+		})
+	}
+	return rec(0)
+}
+
+func (c *converter) convExpr(env *scope, ctx *convCtx, e ast.Expr, k func([]Value) Term) Term {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return k([]Value{Const(e.Value)})
+	case *ast.BoolLit:
+		if e.Value {
+			return k([]Value{Const(1)})
+		}
+		return k([]Value{Const(0)})
+	case *ast.VarRef:
+		ent, ok := env.lookup(e.Name)
+		if !ok {
+			c.errs.Errorf(e.Sp, "cps: unbound %q", e.Name)
+			return k([]Value{Const(0)})
+		}
+		if ve, ok := ent.(*valEnt); ok {
+			return k(ve.leaves)
+		}
+		c.errs.Errorf(e.Sp, "cps: %q is not first-class here", e.Name)
+		return k(nil)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case ast.OpNot:
+			return c.boolValue(env, ctx, e, k)
+		case ast.OpNeg:
+			return c.convExpr(env, ctx, e.X, func(x []Value) Term {
+				return c.arith(ast.OpSub, Const(0), x[0], "neg", k)
+			})
+		default: // OpInv
+			return c.convExpr(env, ctx, e.X, func(x []Value) Term {
+				return c.arith(ast.OpXor, x[0], Const(0xffffffff), "inv", k)
+			})
+		}
+	case *ast.BinaryExpr:
+		if e.Op.IsComparison() || e.Op.IsLogical() {
+			return c.boolValue(env, ctx, e, k)
+		}
+		return c.convExpr(env, ctx, e.L, func(l []Value) Term {
+			return c.convExpr(env, ctx, e.R, func(r []Value) Term {
+				return c.arith(e.Op, l[0], r[0], "t", k)
+			})
+		})
+	case *ast.TupleExpr:
+		return c.convExprList(env, ctx, e.Elems, k)
+	case *ast.RecordExpr:
+		var exprs []ast.Expr
+		for _, f := range e.Fields {
+			exprs = append(exprs, f.X)
+		}
+		return c.convExprList(env, ctx, exprs, k)
+	case *ast.SelectExpr:
+		xt := c.info.TypeOf(e.X)
+		start, count := leafRangeField(xt, e.Name)
+		return c.convExpr(env, ctx, e.X, func(x []Value) Term {
+			return k(x[start : start+count])
+		})
+	case *ast.ProjExpr:
+		xt := c.info.TypeOf(e.X)
+		start, count := leafRangeIndex(xt, e.Index)
+		return c.convExpr(env, ctx, e.X, func(x []Value) Term {
+			return k(x[start : start+count])
+		})
+	case *ast.IfExpr:
+		resultT := c.info.TypeOf(e)
+		join := c.reify(kont{f: k}, resultT, "join")
+		thenK := func() Term {
+			return c.convExpr(env, ctx, e.Then, func(leaves []Value) Term {
+				return join.invoke(leaves)
+			})
+		}
+		elseK := func() Term {
+			if e.Else == nil {
+				return join.invoke(nil)
+			}
+			return c.convExpr(env, ctx, e.Else, func(leaves []Value) Term {
+				return join.invoke(leaves)
+			})
+		}
+		return c.convBool(env, ctx, e.Cond, thenK, elseK)
+	case *ast.BlockExpr:
+		return c.convBlock(env, ctx, e.B, func(_ *scope, leaves []Value) Term {
+			return k(leaves)
+		})
+	case *ast.CallExpr:
+		return c.convCall(env, ctx, e, e.Callee, callArgs{positional: e.Args}, k)
+	case *ast.CallNamedExpr:
+		return c.convCall(env, ctx, e, e.Callee, callArgs{named: e.Fields}, k)
+	case *ast.RaiseExpr:
+		return c.convRaise(env, ctx, e)
+	case *ast.TryExpr:
+		return c.convTry(env, ctx, e, k)
+	case *ast.UnpackExpr:
+		return c.convUnpack(env, ctx, e, k)
+	case *ast.PackExpr:
+		return c.convPack(env, ctx, e, k)
+	case *ast.IntrinsicExpr:
+		return c.convIntrinsic(env, ctx, e, k)
+	}
+	c.errs.Errorf(e.Span(), "cps: unsupported expression %T", e)
+	return k(nil)
+}
+
+func (c *converter) arith(op ast.BinOp, l, r Value, name string, k func([]Value) Term) Term {
+	d := c.prog.NewVar(name)
+	return &Arith{Op: op, L: l, R: r, Dst: d, K: k([]Value{d})}
+}
+
+// boolValue materializes a boolean expression as a 0/1 word.
+func (c *converter) boolValue(env *scope, ctx *convCtx, e ast.Expr, k func([]Value) Term) Term {
+	join := c.reify(kont{f: k}, types.Bool{}, "bool")
+	return c.convBool(env, ctx, e,
+		func() Term { return join.invoke([]Value{Const(1)}) },
+		func() Term { return join.invoke([]Value{Const(0)}) })
+}
+
+// convBool compiles a boolean expression as control flow (§4.1):
+// kt/kf produce the then/else terms. Each is invoked at most once.
+func (c *converter) convBool(env *scope, ctx *convCtx, e ast.Expr, kt, kf func() Term) Term {
+	switch e := e.(type) {
+	case *ast.BoolLit:
+		if e.Value {
+			return kt()
+		}
+		return kf()
+	case *ast.UnaryExpr:
+		if e.Op == ast.OpNot {
+			return c.convBool(env, ctx, e.X, kf, kt)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case e.Op == ast.OpAndAnd:
+			// kf may be reached from both tests: reify it.
+			f := c.reify(kont{f: func([]Value) Term { return kf() }}, types.Unit, "and_false")
+			return c.convBool(env, ctx, e.L,
+				func() Term { return c.convBool(env, ctx, e.R, kt, func() Term { return f.invoke(nil) }) },
+				func() Term { return f.invoke(nil) })
+		case e.Op == ast.OpOrOr:
+			t := c.reify(kont{f: func([]Value) Term { return kt() }}, types.Unit, "or_true")
+			return c.convBool(env, ctx, e.L,
+				func() Term { return t.invoke(nil) },
+				func() Term { return c.convBool(env, ctx, e.R, func() Term { return t.invoke(nil) }, kf) })
+		case e.Op.IsComparison():
+			return c.convExpr(env, ctx, e.L, func(l []Value) Term {
+				return c.convExpr(env, ctx, e.R, func(r []Value) Term {
+					return &If{Cmp: e.Op, L: l[0], R: r[0], Then: kt(), Else: kf()}
+				})
+			})
+		}
+	case *ast.IfExpr: // (if c a else b) used as bool
+		thenT := c.reify(kont{f: func([]Value) Term { return kt() }}, types.Unit, "bt")
+		elseT := c.reify(kont{f: func([]Value) Term { return kf() }}, types.Unit, "bf")
+		return c.convBool(env, ctx, e.Cond,
+			func() Term {
+				return c.convBool(env, ctx, e.Then,
+					func() Term { return thenT.invoke(nil) },
+					func() Term { return elseT.invoke(nil) })
+			},
+			func() Term {
+				if e.Else == nil {
+					return elseT.invoke(nil)
+				}
+				return c.convBool(env, ctx, e.Else,
+					func() Term { return thenT.invoke(nil) },
+					func() Term { return elseT.invoke(nil) })
+			})
+	}
+	// General boolean value: compare against 0.
+	return c.convExpr(env, ctx, e, func(v []Value) Term {
+		return &If{Cmp: ast.OpNe, L: v[0], R: Const(0), Then: kt(), Else: kf()}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Calls: inlining and specialization
+
+type callArgs struct {
+	positional []ast.Expr
+	named      []ast.FieldInit
+}
+
+func (c *converter) convCall(env *scope, ctx *convCtx, call ast.Expr, callee ast.Expr,
+	args callArgs, k func([]Value) Term) Term {
+	fe := c.resolveFun(env, callee)
+	if fe == nil {
+		return k(nil)
+	}
+	// Order the argument expressions by declared parameter order.
+	params := fe.obj.Type.Params
+	ordered := make([]ast.Expr, len(params))
+	if args.named != nil {
+		byName := map[string]ast.Expr{}
+		for _, f := range args.named {
+			byName[f.Name] = f.X
+		}
+		for i, p := range params {
+			ordered[i] = byName[p.Name]
+		}
+	} else {
+		copy(ordered, args.positional)
+	}
+	// Evaluate word-leaf arguments; resolve static (fun/exn) arguments.
+	slots := make([]argSlot, len(params))
+	var dyn []ast.Expr
+	for i, p := range params {
+		if ordered[i] == nil {
+			c.errs.Errorf(call.Span(), "cps: missing argument %q", p.Name)
+			return k(nil)
+		}
+		switch types.Expand(p.Type).(type) {
+		case types.Arrow:
+			slots[i].static = c.resolveFun(env, ordered[i])
+			slots[i].exprIx = -1
+		case types.Exn:
+			slots[i].static = c.resolveExn(env, ordered[i])
+			slots[i].exprIx = -1
+		default:
+			slots[i].exprIx = len(dyn)
+			dyn = append(dyn, ordered[i])
+		}
+	}
+	return c.convDynArgs(env, ctx, dyn, func(groups [][]Value) Term {
+		if c.isConverting(fe.decl) {
+			return c.specializedCall(env, ctx, fe, params, slots, groups, k)
+		}
+		return c.inlineCall(ctx, fe, params, slots, groups, k)
+	})
+}
+
+// convDynArgs evaluates expressions left to right, keeping each
+// expression's leaves grouped.
+func (c *converter) convDynArgs(env *scope, ctx *convCtx, es []ast.Expr, k func([][]Value) Term) Term {
+	groups := make([][]Value, len(es))
+	var rec func(i int) Term
+	rec = func(i int) Term {
+		if i >= len(es) {
+			return k(groups)
+		}
+		return c.convExpr(env, ctx, es[i], func(leaves []Value) Term {
+			groups[i] = leaves
+			return rec(i + 1)
+		})
+	}
+	return rec(0)
+}
+
+func (c *converter) resolveFun(env *scope, e ast.Expr) *funEnt {
+	vr, ok := e.(*ast.VarRef)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: function arguments must be names")
+		return nil
+	}
+	ent, ok := env.lookup(vr.Name)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: unbound function %q", vr.Name)
+		return nil
+	}
+	fe, ok := ent.(*funEnt)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: %q does not denote a function", vr.Name)
+		return nil
+	}
+	return fe
+}
+
+func (c *converter) resolveExn(env *scope, e ast.Expr) *exnEnt {
+	vr, ok := e.(*ast.VarRef)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: exception arguments must be names")
+		return nil
+	}
+	ent, ok := env.lookup(vr.Name)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: unbound exception %q", vr.Name)
+		return nil
+	}
+	xe, ok := ent.(*exnEnt)
+	if !ok {
+		c.errs.Errorf(e.Span(), "cps: %q does not denote an exception", vr.Name)
+		return nil
+	}
+	return xe
+}
+
+// argSlot describes how one call argument is passed: statically (a
+// function or exception entity) or dynamically (word leaves, located
+// by index in the evaluation order).
+type argSlot struct {
+	static entity
+	exprIx int
+}
+
+// inlineCall converts the callee's body in place (§4.3: full inlining
+// of non-tail calls; tail calls to non-recursive functions inline the
+// same way and later contraction keeps code size in check).
+func (c *converter) inlineCall(ctx *convCtx, fe *funEnt, params []types.Field,
+	slots []argSlot, groups [][]Value, k func([]Value) Term) Term {
+	env := fe.env
+	for i, p := range params {
+		if slots[i].static != nil {
+			env = env.bind(p.Name, slots[i].static)
+		} else {
+			env = env.bind(p.Name, &valEnt{leaves: groups[slots[i].exprIx], t: p.Type})
+		}
+	}
+	c.converting = append(c.converting, fe.decl)
+	defer func() { c.converting = c.converting[:len(c.converting)-1] }()
+	inner := &convCtx{ret: kont{f: k}}
+	return c.convBlock(env, inner, fe.decl.Body, func(_ *scope, leaves []Value) Term {
+		return inner.ret.invoke(leaves)
+	})
+}
+
+// specializedCall jumps to a memoized specialization of a recursive
+// function. The memo key covers everything except the word-leaf
+// arguments: the declaration, the return continuation label, and the
+// identities of static (function/exception) arguments.
+func (c *converter) specializedCall(env *scope, ctx *convCtx, fe *funEnt,
+	params []types.Field, slots []argSlot, groups [][]Value, k func([]Value) Term) Term {
+	ret := c.reify(kont{f: k}, fe.obj.Type.Result, fe.decl.Name+"_ret")
+	key := fmt.Sprintf("%p|R%d", fe.decl, ret.label)
+	for i := range params {
+		if slots[i].static != nil {
+			switch s := slots[i].static.(type) {
+			case *funEnt:
+				key += fmt.Sprintf("|F%p", s)
+			case *exnEnt:
+				key += fmt.Sprintf("|X%d", s.label)
+			}
+		}
+	}
+	var wordArgs []Value
+	for i := range params {
+		if slots[i].static == nil {
+			wordArgs = append(wordArgs, groups[slots[i].exprIx]...)
+		}
+	}
+	if l, ok := c.memo[key]; ok {
+		return &App{F: l, Args: wordArgs}
+	}
+	label := c.prog.NewLabel()
+	c.memo[key] = label
+	benv := fe.env
+	var formals []Var
+	for i, p := range params {
+		if slots[i].static != nil {
+			benv = benv.bind(p.Name, slots[i].static)
+			continue
+		}
+		leaves := c.freshLeaves(p.Name, p.Type)
+		formals = append(formals, varsOf(leaves)...)
+		benv = benv.bind(p.Name, &valEnt{leaves: leaves, t: p.Type})
+	}
+	inner := &convCtx{ret: ret}
+	c.converting = append(c.converting, fe.decl)
+	body := c.convBlock(benv, inner, fe.decl.Body, func(_ *scope, leaves []Value) Term {
+		return ret.invoke(leaves)
+	})
+	c.converting = c.converting[:len(c.converting)-1]
+	c.prog.AddFun(&Fun{Label: label, Name: fe.decl.Name, Kind: KindFun, Params: formals, Body: body})
+	return &App{F: label, Args: wordArgs}
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+
+func (c *converter) convRaise(env *scope, ctx *convCtx, e *ast.RaiseExpr) Term {
+	xe := c.resolveExn(env, e.Exn)
+	if xe == nil {
+		return &Halt{}
+	}
+	var ordered []ast.Expr
+	if e.Named {
+		byName := map[string]ast.Expr{}
+		for _, f := range e.Fields {
+			byName[f.Name] = f.X
+		}
+		for _, p := range xe.t.Params {
+			ordered = append(ordered, byName[p.Name])
+		}
+	} else {
+		ordered = e.Args
+	}
+	return c.convExprList(env, ctx, ordered, func(leaves []Value) Term {
+		return &App{F: xe.label, Args: leaves}
+	})
+}
+
+func (c *converter) convTry(env *scope, ctx *convCtx, e *ast.TryExpr, k func([]Value) Term) Term {
+	resultT := c.info.TypeOf(e)
+	join := c.reify(kont{f: k}, resultT, "try_join")
+	benv := env
+	for i := range e.Handlers {
+		h := &e.Handlers[i]
+		obj := c.info.Exns[h]
+		henv := env
+		var formals []Var
+		for _, p := range obj.Type.Params {
+			leaves := c.freshLeaves(p.Name, p.Type)
+			formals = append(formals, varsOf(leaves)...)
+			henv = henv.bind(p.Name, &valEnt{leaves: leaves, t: p.Type})
+		}
+		body := c.convBlock(henv, ctx, h.Body, func(_ *scope, leaves []Value) Term {
+			return join.invoke(leaves)
+		})
+		l := c.prog.NewLabel()
+		c.prog.AddFun(&Fun{Label: l, Name: "handle_" + h.Name, Kind: KindCont,
+			Params: formals, Body: body})
+		benv = benv.bind(h.Name, &exnEnt{label: l, t: obj.Type})
+	}
+	return c.convBlock(benv, ctx, e.Body, func(_ *scope, leaves []Value) Term {
+		return join.invoke(leaves)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Layouts: pack and unpack
+
+// convUnpack extracts every leaf of the layout (§3.2: formally all
+// bitfields get extracted; dead-code elimination removes the unused
+// extractions, §4.4).
+func (c *converter) convUnpack(env *scope, ctx *convCtx, e *ast.UnpackExpr, k func([]Value) Term) Term {
+	l := c.info.Layouts[e]
+	return c.convExpr(env, ctx, e.X, func(words []Value) Term {
+		leaves := l.Leaves()
+		out := make([]Value, len(leaves))
+		var rec func(i int) Term
+		rec = func(i int) Term {
+			if i >= len(leaves) {
+				return k(out)
+			}
+			lf := leaves[i]
+			return c.emitExtract(words, lf, func(v Value) Term {
+				out[i] = v
+				return rec(i + 1)
+			})
+		}
+		return rec(0)
+	})
+}
+
+// emitExtract generates the shift/mask chain for one leaf.
+func (c *converter) emitExtract(words []Value, lf layout.Leaf, k func(Value) Term) Term {
+	plan := layout.ExtractPlan(lf.Offset, lf.Bits)
+	name := "x_" + lf.Path
+	var acc Value
+	var rec func(ti int) Term
+	rec = func(ti int) Term {
+		if ti >= len(plan.Terms) {
+			return k(acc)
+		}
+		t := plan.Terms[ti]
+		cur := words[t.Word]
+		steps := func(v Value, next func(Value) Term) Term {
+			step := func(op ast.BinOp, l Value, r Value, then func(Value) Term) Term {
+				d := c.prog.NewVar(name)
+				return &Arith{Op: op, L: l, R: r, Dst: d, K: then(d)}
+			}
+			if t.Shr > 0 {
+				return step(ast.OpShr, v, Const(t.Shr), func(v2 Value) Term {
+					return maskStep(c, t, name, v2, func(v3 Value) Term {
+						return shlStep(c, t, name, v3, next)
+					})
+				})
+			}
+			return maskStep(c, t, name, v, func(v2 Value) Term {
+				return shlStep(c, t, name, v2, next)
+			})
+		}
+		return steps(cur, func(part Value) Term {
+			if acc == nil {
+				acc = part
+				return rec(ti + 1)
+			}
+			prev := acc
+			d := c.prog.NewVar(name)
+			acc = d
+			return &Arith{Op: ast.OpOr, L: prev, R: part, Dst: d, K: rec(ti + 1)}
+		})
+	}
+	return rec(0)
+}
+
+func maskStep(c *converter, t layout.Term, name string, v Value, next func(Value) Term) Term {
+	if t.Mask == 0xffffffff || (t.Shr != 0 && 0xffffffff>>t.Shr == t.Mask) {
+		return next(v)
+	}
+	d := c.prog.NewVar(name)
+	return &Arith{Op: ast.OpAnd, L: v, R: Const(t.Mask), Dst: d, K: next(d)}
+}
+
+func shlStep(c *converter, t layout.Term, name string, v Value, next func(Value) Term) Term {
+	if t.Shl == 0 {
+		return next(v)
+	}
+	d := c.prog.NewVar(name)
+	return &Arith{Op: ast.OpShl, L: v, R: Const(t.Shl), Dst: d, K: next(d)}
+}
+
+// convPack builds the packed words from the provided leaves, choosing
+// one alternative per overlay. Gap bits are zero.
+func (c *converter) convPack(env *scope, ctx *convCtx, e *ast.PackExpr, k func([]Value) Term) Term {
+	l := c.info.Layouts[e]
+	// Gather (leaves, expr) entries by walking the layout against the
+	// field initializers, mirroring the checker. Each entry's
+	// expression yields exactly len(entry.leaves) word values, in leaf
+	// order; the common case is a single leaf.
+	type packEntry struct {
+		leaves []layout.Leaf
+		x      ast.Expr
+	}
+	var entries []packEntry
+	var gather func(lay *layout.Layout, base int, fields []ast.FieldInit)
+	fromUnpacked := func(sub *layout.Layout, base int, x ast.Expr) {
+		// A sub-layout given as an unpacked(sub) value: its flattened
+		// leaves correspond positionally to sub.Leaves(). Overlays
+		// would deposit overlapping alternatives, so they are rejected.
+		if len(sub.Overlays()) > 0 {
+			c.errs.Errorf(x.Span(), "cps: packing an unpacked value with overlays is ambiguous; use a record literal choosing one alternative")
+			return
+		}
+		subLeaves := sub.Leaves()
+		shifted := make([]layout.Leaf, len(subLeaves))
+		for i, lf := range subLeaves {
+			lf.Offset += base
+			shifted[i] = lf
+		}
+		entries = append(entries, packEntry{leaves: shifted, x: x})
+	}
+	gather = func(lay *layout.Layout, base int, fields []ast.FieldInit) {
+		byName := map[string]ast.FieldInit{}
+		for _, f := range fields {
+			byName[f.Name] = f
+		}
+		for _, lf := range lay.Fields {
+			if lf.Name == "" {
+				continue
+			}
+			f, ok := byName[lf.Name]
+			if !ok {
+				continue // checker reported
+			}
+			off := base + lf.Offset
+			switch {
+			case len(lf.Overlay) > 0:
+				rec, ok := f.X.(*ast.RecordExpr)
+				if !ok || len(rec.Fields) != 1 {
+					continue
+				}
+				choice := rec.Fields[0]
+				for _, a := range lf.Overlay {
+					if a.Name != choice.Name {
+						continue
+					}
+					if a.Sub != nil {
+						if sub, ok := choice.X.(*ast.RecordExpr); ok {
+							gather(a.Sub, off, sub.Fields)
+						} else {
+							fromUnpacked(a.Sub, off, choice.X)
+						}
+					} else {
+						entries = append(entries, packEntry{
+							leaves: []layout.Leaf{{Path: lf.Name, Offset: off, Bits: a.Bits}},
+							x:      choice.X,
+						})
+					}
+				}
+			case lf.Sub != nil:
+				if sub, ok := f.X.(*ast.RecordExpr); ok {
+					gather(lf.Sub, off, sub.Fields)
+				} else {
+					fromUnpacked(lf.Sub, off, f.X)
+				}
+			default:
+				entries = append(entries, packEntry{
+					leaves: []layout.Leaf{{Path: lf.Name, Offset: off, Bits: lf.Bits}},
+					x:      f.X,
+				})
+			}
+		}
+	}
+	gather(l, 0, e.Fields)
+
+	exprs := make([]ast.Expr, len(entries))
+	for i, en := range entries {
+		exprs[i] = en.x
+	}
+	return c.convDynArgs(env, ctx, exprs, func(groups [][]Value) Term {
+		// Accumulate each output word as an OR of deposited parts.
+		nw := l.Words()
+		acc := make([]Value, nw)
+		type depositJob struct {
+			span layout.DepositSpan
+			val  Value
+		}
+		var jobs []depositJob
+		for i, en := range entries {
+			for li, lf := range en.leaves {
+				if li >= len(groups[i]) {
+					break // conversion error already reported
+				}
+				v := groups[i][li]
+				for _, d := range layout.DepositPlan(lf.Offset, lf.Bits) {
+					jobs = append(jobs, depositJob{span: d, val: v})
+				}
+			}
+		}
+		var rec func(j int) Term
+		rec = func(j int) Term {
+			if j >= len(jobs) {
+				out := make([]Value, nw)
+				for i := range out {
+					if acc[i] == nil {
+						out[i] = Const(0)
+					} else {
+						out[i] = acc[i]
+					}
+				}
+				return k(out)
+			}
+			d := jobs[j].span
+			v := jobs[j].val
+			emit := func(op ast.BinOp, lv, rv Value, next func(Value) Term) Term {
+				dv := c.prog.NewVar("pk")
+				return &Arith{Op: op, L: lv, R: rv, Dst: dv, K: next(dv)}
+			}
+			step1 := func(next func(Value) Term) Term {
+				if d.Shr > 0 {
+					return emit(ast.OpShr, v, Const(d.Shr), next)
+				}
+				if d.Shl > 0 {
+					return emit(ast.OpShl, v, Const(d.Shl), next)
+				}
+				return next(v)
+			}
+			return step1(func(part Value) Term {
+				mask := func(next func(Value) Term) Term {
+					if d.Mask == 0xffffffff {
+						return next(part)
+					}
+					return emit(ast.OpAnd, part, Const(d.Mask), next)
+				}
+				return mask(func(masked Value) Term {
+					if acc[d.Word] == nil {
+						acc[d.Word] = masked
+						return rec(j + 1)
+					}
+					return emit(ast.OpOr, acc[d.Word], masked, func(merged Value) Term {
+						acc[d.Word] = merged
+						return rec(j + 1)
+					})
+				})
+			})
+		}
+		return rec(0)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsics
+
+func (c *converter) convIntrinsic(env *scope, ctx *convCtx, e *ast.IntrinsicExpr, k func([]Value) Term) Term {
+	size := e.Size
+	if size == 0 {
+		size = 1
+		if e.Op == ast.OpSDRAM {
+			size = 2
+		}
+	}
+	switch e.Op {
+	case ast.OpSRAM, ast.OpSDRAM, ast.OpScratch, ast.OpRFIFO:
+		space := map[ast.IntrinsicOp]Space{
+			ast.OpSRAM: SpaceSRAM, ast.OpSDRAM: SpaceSDRAM,
+			ast.OpScratch: SpaceScratch, ast.OpRFIFO: SpaceRFIFO,
+		}[e.Op]
+		return c.convExpr(env, ctx, e.Args[0], func(addr []Value) Term {
+			dsts := make([]Var, size)
+			out := make([]Value, size)
+			for i := range dsts {
+				dsts[i] = c.prog.NewVar(fmt.Sprintf("%s%d", space, i))
+				out[i] = dsts[i]
+			}
+			return &MemRead{Space: space, Addr: addr[0], Dsts: dsts, K: k(out)}
+		})
+	case ast.OpHash:
+		return c.convExpr(env, ctx, e.Args[0], func(src []Value) Term {
+			d := c.prog.NewVar("hash")
+			return &Special{Kind: SpecHash, Args: src, Dsts: []Var{d}, K: k([]Value{d})}
+		})
+	case ast.OpBTS:
+		return c.convExprList(env, ctx, e.Args, func(args []Value) Term {
+			d := c.prog.NewVar("bts")
+			return &Special{Kind: SpecBTS, Args: args, Dsts: []Var{d}, K: k([]Value{d})}
+		})
+	case ast.OpCSR:
+		return c.convExpr(env, ctx, e.Args[0], func(addr []Value) Term {
+			d := c.prog.NewVar("csr")
+			return &Special{Kind: SpecCSRRead, Args: addr, Dsts: []Var{d}, K: k([]Value{d})}
+		})
+	case ast.OpCtxSwap:
+		return &Special{Kind: SpecCtxSwap, K: k(nil)}
+	}
+	c.errs.Errorf(e.Sp, "cps: unsupported intrinsic %v", e.Op)
+	return k(nil)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf range helpers
+
+// leafRangeField locates the flattened-leaf range of a record field.
+func leafRangeField(t types.Type, name string) (start, count int) {
+	rec := types.Expand(t).(types.Record)
+	off := 0
+	for _, f := range rec.Fields {
+		n := types.WordCount(f.Type)
+		if f.Name == name {
+			return off, n
+		}
+		off += n
+	}
+	panic(fmt.Sprintf("cps: no field %q in %s", name, t))
+}
+
+// leafRangeIndex locates the flattened-leaf range of a tuple component.
+func leafRangeIndex(t types.Type, idx int) (start, count int) {
+	tup := types.Expand(t).(types.Tuple)
+	off := 0
+	for i, e := range tup.Elems {
+		n := types.WordCount(e)
+		if i == idx {
+			return off, n
+		}
+		off += n
+	}
+	panic(fmt.Sprintf("cps: index %d out of range in %s", idx, t))
+}

@@ -1,0 +1,404 @@
+package cps
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// compile parses, checks, and CPS-converts src with entry "main".
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	f := source.NewFile("t.nova", src)
+	errs := source.NewErrorList(f)
+	prog := parser.Parse(f, errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := types.Check(prog, errs)
+	if errs.HasErrors() {
+		t.Fatalf("check: %v", errs)
+	}
+	p := Convert(info, "main", errs)
+	if errs.HasErrors() {
+		t.Fatalf("convert: %v", errs)
+	}
+	return p
+}
+
+// run executes the program on a fresh machine and returns the results.
+func run(t *testing.T, p *Program, m *Machine, args ...uint32) []uint32 {
+	t.Helper()
+	if m == nil {
+		m = NewMachine(1024, 1024, 256)
+	}
+	res, err := p.Eval(m, args, 1_000_000)
+	if err != nil {
+		t.Fatalf("eval: %v\nprogram:\n%s", err, p)
+	}
+	return res.Results
+}
+
+func TestArithmetic(t *testing.T) {
+	p := compile(t, `fun main(a: word, b: word) -> word { (a + b) * 2 - (a & b) }`)
+	got := run(t, p, nil, 7, 9)
+	want := (uint32(7)+9)*2 - (7 & 9)
+	if got[0] != want {
+		t.Fatalf("got %d, want %d", got[0], want)
+	}
+}
+
+func TestIfAsValue(t *testing.T) {
+	p := compile(t, `fun main(a: word) -> word { if (a > 10) a - 10 else 10 - a }`)
+	if got := run(t, p, nil, 25); got[0] != 15 {
+		t.Fatalf("got %d", got[0])
+	}
+	if got := run(t, p, nil, 3); got[0] != 7 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestBoolMaterialization(t *testing.T) {
+	p := compile(t, `fun main(a: word, b: word) -> bool { let c = a < b && b < 100; c }`)
+	if got := run(t, p, nil, 5, 50); got[0] != 1 {
+		t.Fatalf("5<50<100: got %d", got[0])
+	}
+	if got := run(t, p, nil, 5, 200); got[0] != 0 {
+		t.Fatalf("200: got %d", got[0])
+	}
+}
+
+func TestTailLoop(t *testing.T) {
+	p := compile(t, `
+fun main(n: word) -> word {
+  fun loop(k: word, acc: word) -> word {
+    if (k == 0) acc else loop(k - 1, acc + k)
+  }
+  loop(n, 0)
+}`)
+	if got := run(t, p, nil, 10); got[0] != 55 {
+		t.Fatalf("sum 1..10 = %d", got[0])
+	}
+	// The loop must be a real loop: a single specialization, not
+	// unbounded inlining. 10 iterations must not take >1000 steps.
+	res, err := p.Eval(NewMachine(16, 16, 16), []uint32{1000}, 100_000)
+	if err != nil {
+		t.Fatalf("big loop: %v", err)
+	}
+	if res.Results[0] != 500500 {
+		t.Fatalf("sum 1..1000 = %d", res.Results[0])
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	p := compile(t, `
+fun main(n: word) -> word {
+  let acc = 0;
+  while (n > 0) {
+    let acc = acc + n;
+    let n = n - 1;
+  }
+  acc
+}`)
+	if got := run(t, p, nil, 10); got[0] != 55 {
+		t.Fatalf("while sum = %d", got[0])
+	}
+	if got := run(t, p, nil, 0); got[0] != 0 {
+		t.Fatalf("zero-trip = %d", got[0])
+	}
+}
+
+func TestInlining(t *testing.T) {
+	p := compile(t, `
+fun sq(x: word) -> word { x * x }
+fun main(a: word) -> word { sq(a) + sq(a + 1) }`)
+	if got := run(t, p, nil, 3); got[0] != 9+16 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestFunctionArgument(t *testing.T) {
+	p := compile(t, `
+fun apply(f: (word) -> word, x: word) -> word { f(x) }
+fun inc(v: word) -> word { v + 1 }
+fun dbl(v: word) -> word { v * 2 }
+fun main(a: word) -> word { apply(inc, a) + apply(dbl, a) }`)
+	if got := run(t, p, nil, 10); got[0] != 11+20 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestRecordsAndTuples(t *testing.T) {
+	p := compile(t, `
+fun main(a: word, b: word) -> word {
+  let r = [x = a, y = (b, a + b)];
+  r.y.0 + r.y.1 + r.x
+}`)
+	if got := run(t, p, nil, 3, 4); got[0] != 4+7+3 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	p := compile(t, `
+fun main() -> word {
+  sram(100) <- (11, 22, 33, 44);
+  let (a, b, c, d) = sram[4](100);
+  sdram(10) <- (a + b, c + d);
+  let (x, y) = sdram[2](10);
+  scratch(5) <- x + y;
+  scratch[1](5)
+}`)
+	m := NewMachine(1024, 1024, 256)
+	if got := run(t, p, m); got[0] != 110 {
+		t.Fatalf("got %d", got[0])
+	}
+	if m.SRAM[102] != 33 {
+		t.Fatalf("sram[102] = %d", m.SRAM[102])
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	p := compile(t, `
+fun g[v: word, x1: exn[b: word, c: word], x2: exn()] -> word {
+  if (v == 1) raise x2()
+  else if (v == 2) raise x1[b = 10, c = 20]
+  else v * 100
+}
+fun main(a: word) -> word {
+  try {
+    g[v = a, x2 = X2, x1 = X1]
+  }
+  handle X1 [b: word, c: word] { b + c }
+  handle X2 () { 7 }
+}`)
+	if got := run(t, p, nil, 1); got[0] != 7 {
+		t.Fatalf("X2 path: got %d", got[0])
+	}
+	if got := run(t, p, nil, 2); got[0] != 30 {
+		t.Fatalf("X1 path: got %d", got[0])
+	}
+	if got := run(t, p, nil, 5); got[0] != 500 {
+		t.Fatalf("normal path: got %d", got[0])
+	}
+}
+
+func TestUnpack(t *testing.T) {
+	p := compile(t, `
+layout h = { version : 4, priority : 4, flow : 24 };
+fun main(w: word) -> word {
+  let u = unpack[h]((w));
+  u.version * 1000 + u.priority * 100 + u.flow
+}`)
+	// 0x6_5_000123: version=6, priority=5, flow=0x123
+	w := uint32(6)<<28 | uint32(5)<<24 | 0x123
+	if got := run(t, p, nil, w); got[0] != 6000+500+0x123 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestUnpackStraddle(t *testing.T) {
+	p := compile(t, `
+layout l2 = { a : 16, b : 32, c : 16 };
+fun main(w0: word, w1: word) -> word {
+  let u = unpack[l2]((w0, w1));
+  u.b
+}`)
+	// b occupies bits 16..48: low 16 of w0 and high 16 of w1.
+	w0 := uint32(0xAAAA_1234)
+	w1 := uint32(0x5678_BBBB)
+	if got := run(t, p, nil, w0, w1); got[0] != 0x1234_5678 {
+		t.Fatalf("got %#x", got[0])
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p := compile(t, `
+layout h = {
+  verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } },
+  flow : 24
+};
+fun main(v: word, pr: word, fl: word) -> word {
+  let w = pack[h] [ verpri = [ parts = [ version = v, priority = pr ] ], flow = fl ];
+  let u = unpack[h]((w));
+  u.verpri.whole
+}`)
+	if got := run(t, p, nil, 6, 5, 0x123); got[0] != 0x65 {
+		t.Fatalf("whole = %#x, want 0x65", got[0])
+	}
+}
+
+func TestPackWithAlignmentGaps(t *testing.T) {
+	p := compile(t, `
+layout lyt = { x : 16, y : 32, z : 8 };
+fun main(x: word, y: word, z: word) -> (word, word, word) {
+  pack[{16} ## lyt ## {24}] [ x = x, y = y, z = z ]
+}`)
+	got := run(t, p, nil, 0x1234, 0xdeadbeef, 0x7f)
+	if got[0] != 0x0000_1234 {
+		t.Fatalf("w0 = %#x", got[0])
+	}
+	if got[1] != 0xdeadbeef {
+		t.Fatalf("w1 = %#x", got[1])
+	}
+	if got[2] != 0x7f00_0000 {
+		t.Fatalf("w2 = %#x", got[2])
+	}
+}
+
+func TestHashAndBTS(t *testing.T) {
+	p := compile(t, `
+fun main(x: word) -> (word, word) {
+  let h = hash(x);
+  let old = sram_bts(50, 0x4);
+  (h, old)
+}`)
+	m := NewMachine(1024, 16, 16)
+	m.SRAM[50] = 0x3
+	got := run(t, p, m, 42)
+	if got[0] != DefaultHash(42) {
+		t.Fatalf("hash = %#x", got[0])
+	}
+	if got[1] != 0x3 || m.SRAM[50] != 0x7 {
+		t.Fatalf("bts old=%#x mem=%#x", got[1], m.SRAM[50])
+	}
+}
+
+func TestConstants(t *testing.T) {
+	p := compile(t, `
+let BASE = 0x40;
+let STEP = BASE / 4;
+fun main(i: word) -> word { BASE + STEP * i }`)
+	if got := run(t, p, nil, 2); got[0] != 0x40+0x10*2 {
+		t.Fatalf("got %#x", got[0])
+	}
+}
+
+func TestPaperFigure3Shape(t *testing.T) {
+	// The program of Figure 3: two reads, two arithmetic ops, two writes.
+	p := compile(t, `
+fun main() {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f, g, h, i, j) = sram[6](200);
+  let u = a + c;
+  let v = g + h;
+  sram(300) <- (b, e, v, u);
+  sram(500) <- (f, j, d, i);
+}`)
+	m := NewMachine(1024, 16, 16)
+	for k := 0; k < 4; k++ {
+		m.SRAM[100+k] = uint32(k + 1) // a..d = 1..4
+	}
+	for k := 0; k < 6; k++ {
+		m.SRAM[200+k] = uint32(10 * (k + 1)) // e..j = 10..60
+	}
+	run(t, p, m)
+	// u = a+c = 4; v = g+h = 70
+	want300 := []uint32{2, 10, 70, 4}
+	for k, w := range want300 {
+		if m.SRAM[300+k] != w {
+			t.Fatalf("sram[%d] = %d, want %d", 300+k, m.SRAM[300+k], w)
+		}
+	}
+	want500 := []uint32{20, 60, 4, 50}
+	for k, w := range want500 {
+		if m.SRAM[500+k] != w {
+			t.Fatalf("sram[%d] = %d, want %d", 500+k, m.SRAM[500+k], w)
+		}
+	}
+}
+
+func TestDeadFieldsNotExtracted(t *testing.T) {
+	// §4.4: u1.a, u2.a, u2.c are never used; after conversion they are
+	// still present but DCE (tested in the opt package) removes them.
+	// Here we only check the program runs correctly.
+	p := compile(t, `
+layout pl = { a : 16, b : 32, c : 16 };
+fun main(p1: word[2], p2: word[2]) -> word {
+  let u1 = unpack[pl](p1);
+  let u2 = unpack[pl](p2);
+  (if (u1.c > 10) u1 else u2).b
+}`)
+	// p1: a=1, b=0xCAFEBABE, c=99 (c>10, pick u1)
+	p1w0 := uint32(1)<<16 | 0xCAFE
+	p1w1 := uint32(0xBABE)<<16 | 99
+	p2w0 := uint32(2)<<16 | 0x1111
+	p2w1 := uint32(0x2222)<<16 | 3
+	if got := run(t, p, nil, p1w0, p1w1, p2w0, p2w1); got[0] != 0xCAFEBABE {
+		t.Fatalf("got %#x", got[0])
+	}
+	// c <= 10: pick u2
+	p1w1 = uint32(0xBABE)<<16 | 5
+	if got := run(t, p, nil, p1w0, p1w1, p2w0, p2w1); got[0] != 0x1111_2222 {
+		t.Fatalf("got %#x", got[0])
+	}
+}
+
+func TestReturnEarly(t *testing.T) {
+	p := compile(t, `
+fun main(a: word) -> word {
+  if (a == 0) { return 99 };
+  a + 1
+}`)
+	if got := run(t, p, nil, 0); got[0] != 99 {
+		t.Fatalf("got %d", got[0])
+	}
+	if got := run(t, p, nil, 5); got[0] != 6 {
+		t.Fatalf("got %d", got[0])
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	p := compile(t, `
+fun main(n: word) -> word {
+  fun even(k: word) -> word { if (k == 0) 1 else odd(k - 1) }
+  fun odd(k: word) -> word { if (k == 0) 0 else even(k - 1) }
+  even(n)
+}`)
+	if got := run(t, p, nil, 10); got[0] != 1 {
+		t.Fatalf("even(10) = %d", got[0])
+	}
+	if got := run(t, p, nil, 7); got[0] != 0 {
+		t.Fatalf("even(7) = %d", got[0])
+	}
+}
+
+func TestShadowingCapture(t *testing.T) {
+	// A nested function must see the binding at its definition point,
+	// not a later shadowing one.
+	p := compile(t, `
+fun main() -> word {
+  let y = 1;
+  fun f() -> word { y }
+  let y = 2;
+  f() * 10 + y
+}`)
+	if got := run(t, p, nil); got[0] != 12 {
+		t.Fatalf("got %d, want 12", got[0])
+	}
+}
+
+func TestLoopCarriedTuple(t *testing.T) {
+	p := compile(t, `
+fun main(n: word) -> word {
+  let st = (0, 1);
+  while (n > 0) {
+    let st = (st.1, st.0 + st.1);
+    let n = n - 1;
+  }
+  st.0
+}`)
+	// Fibonacci: after 10 iterations st.0 = fib(10) = 55.
+	if got := run(t, p, nil, 10); got[0] != 55 {
+		t.Fatalf("fib = %d", got[0])
+	}
+}
+
+func TestCtxSwapNoop(t *testing.T) {
+	p := compile(t, `fun main(a: word) -> word { ctx_swap(); a }`)
+	if got := run(t, p, nil, 4); got[0] != 4 {
+		t.Fatalf("got %d", got[0])
+	}
+}

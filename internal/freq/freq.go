@@ -1,0 +1,190 @@
+// Package freq implements static execution-frequency estimation for
+// the ILP objective function (§7 of the paper): branch probabilities
+// from Wu-Larus-style heuristics combined with Dempster-Shafer theory,
+// propagated to block frequencies by a Markov-flow fixpoint that —
+// unlike interval-based propagation — copes with irreducible
+// flowgraphs.
+package freq
+
+import (
+	"repro/internal/ast"
+	"repro/internal/mir"
+)
+
+// BackEdgeProb is the probability that a loop branch takes the back
+// edge (Wu-Larus's loop-branch heuristic value).
+const BackEdgeProb = 0.88
+
+// Estimate returns one execution-frequency weight per block, with the
+// entry block at 1.0.
+func Estimate(p *mir.Program) []float64 {
+	n := len(p.Blocks)
+	if n == 0 {
+		return nil
+	}
+	loops := naturalLoops(p)
+	// Edge probabilities.
+	type edge struct {
+		to   mir.BlockID
+		prob float64
+	}
+	out := make([][]edge, n)
+	for _, b := range p.Blocks {
+		switch t := b.Term.(type) {
+		case *mir.Jump:
+			out[b.ID] = []edge{{to: t.Edge.To, prob: 1}}
+		case *mir.Branch:
+			pThen := branchProb(b, t, loops)
+			out[b.ID] = []edge{
+				{to: t.Then.To, prob: pThen},
+				{to: t.Else.To, prob: 1 - pThen},
+			}
+		}
+	}
+	// Markov-flow fixpoint: freq = e + P' freq, damped iteration.
+	freq := make([]float64, n)
+	next := make([]float64, n)
+	freq[0] = 1
+	for iter := 0; iter < 500; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		next[0] = 1
+		for i, edges := range out {
+			for _, e := range edges {
+				next[e.to] += freq[i] * e.prob
+			}
+		}
+		delta := 0.0
+		for i := range next {
+			d := next[i] - freq[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+			freq[i] = next[i]
+		}
+		if delta < 1e-9 {
+			break
+		}
+	}
+	// Guard against pathological growth.
+	for i := range freq {
+		if freq[i] > 1e6 {
+			freq[i] = 1e6
+		}
+		if freq[i] < 1e-9 {
+			freq[i] = 1e-9
+		}
+	}
+	return freq
+}
+
+// naturalLoops returns the body sets of all natural loops: for each
+// DFS back edge u -> h, the loop body is h plus every block that
+// reaches u without passing through h. Loops with the same header are
+// merged.
+func naturalLoops(p *mir.Program) []map[mir.BlockID]bool {
+	// Back edges via DFS.
+	type be struct{ u, h mir.BlockID }
+	var backs []be
+	state := make([]int, len(p.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(id mir.BlockID)
+	dfs = func(id mir.BlockID) {
+		state[id] = 1
+		for _, e := range p.Blocks[id].Succs() {
+			switch state[e.To] {
+			case 0:
+				dfs(e.To)
+			case 1:
+				backs = append(backs, be{u: id, h: e.To})
+			}
+		}
+		state[id] = 2
+	}
+	dfs(0)
+	// Predecessor lists.
+	preds := make([][]mir.BlockID, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for _, e := range b.Succs() {
+			preds[e.To] = append(preds[e.To], b.ID)
+		}
+	}
+	byHeader := map[mir.BlockID]map[mir.BlockID]bool{}
+	for _, e := range backs {
+		body := byHeader[e.h]
+		if body == nil {
+			body = map[mir.BlockID]bool{e.h: true}
+			byHeader[e.h] = body
+		}
+		// Backward reachability from u, stopping at h.
+		stack := []mir.BlockID{e.u}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[v] {
+				continue
+			}
+			body[v] = true
+			stack = append(stack, preds[v]...)
+		}
+	}
+	var out []map[mir.BlockID]bool
+	for _, body := range byHeader {
+		out = append(out, body)
+	}
+	return out
+}
+
+// branchProb estimates the probability of taking the Then edge by
+// combining heuristics with Dempster-Shafer (§7).
+func branchProb(b *mir.Block, t *mir.Branch, loops []map[mir.BlockID]bool) float64 {
+	p := 0.5
+	// Loop-branch heuristic: from inside a loop, the edge that stays in
+	// the loop is taken with probability BackEdgeProb.
+	for _, body := range loops {
+		if !body[b.ID] {
+			continue
+		}
+		thenIn, elseIn := body[t.Then.To], body[t.Else.To]
+		switch {
+		case thenIn && !elseIn:
+			p = combine(p, BackEdgeProb)
+		case elseIn && !thenIn:
+			p = combine(p, 1-BackEdgeProb)
+		}
+	}
+	// Opcode heuristic: equalities rarely hold; inequalities usually do.
+	switch t.Cmp {
+	case ast.OpEq:
+		p = combine(p, 0.34)
+	case ast.OpNe:
+		p = combine(p, 0.66)
+	}
+	// Zero-comparison heuristic: values are rarely exactly zero (only
+	// when the operand is a literal zero comparison with Lt/Ge which
+	// is sign-testing; keep neutral otherwise).
+	if t.R.IsImm && t.R.Imm == 0 {
+		switch t.Cmp {
+		case ast.OpGt:
+			p = combine(p, 0.66) // x > 0 usually true for counters
+		case ast.OpLe:
+			p = combine(p, 0.34)
+		}
+	}
+	return p
+}
+
+// combine is Dempster-Shafer combination of two basic probability
+// assignments for the binary frame {taken, not-taken}:
+// m(taken) = p1*p2 / (p1*p2 + (1-p1)(1-p2)).
+func combine(p1, p2 float64) float64 {
+	num := p1 * p2
+	den := num + (1-p1)*(1-p2)
+	if den == 0 {
+		return 0.5
+	}
+	return num / den
+}

@@ -1,0 +1,134 @@
+package freq
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/mir"
+)
+
+// straightLine builds b0 -> b1 -> halt.
+func TestStraightLine(t *testing.T) {
+	p := &mir.Program{}
+	b0 := p.NewBlock("entry")
+	b1 := p.NewBlock("next")
+	b0.Term = &mir.Jump{Edge: mir.Edge{To: b1.ID}}
+	b1.Term = &mir.Halt{}
+	f := Estimate(p)
+	if f[0] != 1 || f[1] != 1 {
+		t.Fatalf("freqs = %v", f)
+	}
+}
+
+func TestDiamondSplitsFlow(t *testing.T) {
+	p := &mir.Program{}
+	b0 := p.NewBlock("entry")
+	bt := p.NewBlock("then")
+	be := p.NewBlock("else")
+	bj := p.NewBlock("join")
+	x := p.NewTemp("x")
+	b0.Term = &mir.Branch{Cmp: ast.OpLt, L: mir.T(x), R: mir.T(x),
+		Then: mir.Edge{To: bt.ID}, Else: mir.Edge{To: be.ID}}
+	bt.Term = &mir.Jump{Edge: mir.Edge{To: bj.ID}}
+	be.Term = &mir.Jump{Edge: mir.Edge{To: bj.ID}}
+	bj.Term = &mir.Halt{}
+	f := Estimate(p)
+	if f[bt.ID]+f[be.ID] < 0.99 || f[bt.ID]+f[be.ID] > 1.01 {
+		t.Fatalf("branch flow not conserved: %v", f)
+	}
+	if f[bj.ID] < 0.99 || f[bj.ID] > 1.01 {
+		t.Fatalf("join freq = %v", f[bj.ID])
+	}
+}
+
+func TestLoopAmplifies(t *testing.T) {
+	// b0 -> header; header -> body (back to header) | exit.
+	p := &mir.Program{}
+	b0 := p.NewBlock("entry")
+	h := p.NewBlock("header")
+	body := p.NewBlock("body")
+	exit := p.NewBlock("exit")
+	x := p.NewTemp("x")
+	b0.Term = &mir.Jump{Edge: mir.Edge{To: h.ID}}
+	h.Term = &mir.Branch{Cmp: ast.OpGt, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: body.ID}, Else: mir.Edge{To: exit.ID}}
+	body.Term = &mir.Jump{Edge: mir.Edge{To: h.ID}}
+	exit.Term = &mir.Halt{}
+	f := Estimate(p)
+	// The loop body should run several times per entry; the exit once.
+	if f[body.ID] < 3 {
+		t.Fatalf("loop body freq too low: %v", f)
+	}
+	if f[exit.ID] < 0.9 || f[exit.ID] > 1.1 {
+		t.Fatalf("exit freq = %v", f[exit.ID])
+	}
+	if f[h.ID] < f[body.ID] {
+		t.Fatalf("header must run at least as often as body: %v", f)
+	}
+}
+
+func TestNestedLoopsMultiply(t *testing.T) {
+	// outer header -> inner header -> inner body -> inner header;
+	// inner exit -> outer latch -> outer header.
+	p := &mir.Program{}
+	entry := p.NewBlock("entry")
+	oh := p.NewBlock("outer_h")
+	ih := p.NewBlock("inner_h")
+	ib := p.NewBlock("inner_b")
+	latch := p.NewBlock("latch")
+	exit := p.NewBlock("exit")
+	x := p.NewTemp("x")
+	entry.Term = &mir.Jump{Edge: mir.Edge{To: oh.ID}}
+	oh.Term = &mir.Branch{Cmp: ast.OpGt, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: ih.ID}, Else: mir.Edge{To: exit.ID}}
+	ih.Term = &mir.Branch{Cmp: ast.OpGt, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: ib.ID}, Else: mir.Edge{To: latch.ID}}
+	ib.Term = &mir.Jump{Edge: mir.Edge{To: ih.ID}}
+	latch.Term = &mir.Jump{Edge: mir.Edge{To: oh.ID}}
+	exit.Term = &mir.Halt{}
+	f := Estimate(p)
+	if f[ib.ID] < 2*f[latch.ID] {
+		t.Fatalf("inner body should dominate outer latch: %v", f)
+	}
+	if f[ib.ID] < 9 {
+		t.Fatalf("nested loop frequency too low: %v", f)
+	}
+}
+
+// TestIrreducible: two-entry loop (irreducible); estimation must still
+// terminate and give positive finite frequencies.
+func TestIrreducible(t *testing.T) {
+	p := &mir.Program{}
+	entry := p.NewBlock("entry")
+	a := p.NewBlock("a")
+	b := p.NewBlock("b")
+	exit := p.NewBlock("exit")
+	x := p.NewTemp("x")
+	entry.Term = &mir.Branch{Cmp: ast.OpEq, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: a.ID}, Else: mir.Edge{To: b.ID}}
+	a.Term = &mir.Branch{Cmp: ast.OpNe, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: b.ID}, Else: mir.Edge{To: exit.ID}}
+	b.Term = &mir.Branch{Cmp: ast.OpNe, L: mir.T(x), R: mir.Imm(0),
+		Then: mir.Edge{To: a.ID}, Else: mir.Edge{To: exit.ID}}
+	exit.Term = &mir.Halt{}
+	f := Estimate(p)
+	for i, v := range f {
+		if v <= 0 || v > 1e6 {
+			t.Fatalf("block %d freq %v out of range: %v", i, v, f)
+		}
+	}
+}
+
+func TestDempsterShafer(t *testing.T) {
+	if got := combine(0.5, 0.88); got != 0.88 {
+		t.Fatalf("combine(0.5, 0.88) = %v", got)
+	}
+	// Two agreeing weak signals reinforce.
+	if got := combine(0.6, 0.6); got <= 0.6 {
+		t.Fatalf("combine(0.6, 0.6) = %v, want > 0.6", got)
+	}
+	// Conflicting signals cancel.
+	if got := combine(0.7, 0.3); got < 0.49 || got > 0.51 {
+		t.Fatalf("combine(0.7, 0.3) = %v, want 0.5", got)
+	}
+}

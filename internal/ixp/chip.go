@@ -1,0 +1,125 @@
+package ixp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// Chip is a full IXP1200: several micro-engines sharing the SRAM,
+// SDRAM, and scratch memories and their ports, plus the hash unit.
+// Engines run on one global clock; memory references from different
+// engines contend for port bandwidth, which is what bounds the
+// chip-level scaling (the paper keeps all AES tables in SRAM and notes
+// the resulting contention).
+type Chip struct {
+	Cfg     Config
+	Engines []*Machine
+}
+
+// NumEngines on a real IXP1200.
+const NumEngines = 6
+
+// NewChip builds a chip with n engines sharing one memory system.
+func NewChip(cfg Config, n int) *Chip {
+	c := &Chip{Cfg: cfg}
+	first := New(cfg)
+	c.Engines = append(c.Engines, first)
+	for i := 1; i < n; i++ {
+		e := New(cfg)
+		// Share the memory system and the arbitration state.
+		e.SRAM = first.SRAM
+		e.SDRAM = first.SDRAM
+		e.Scratch = first.Scratch
+		e.CSR = first.CSR
+		e.units = first.units
+		e.hashUnit = first.hashUnit
+		c.Engines = append(c.Engines, e)
+	}
+	return c
+}
+
+// SRAM returns the shared SRAM image.
+func (c *Chip) SRAM() []uint32 { return c.Engines[0].SRAM }
+
+// SDRAM returns the shared SDRAM image.
+func (c *Chip) SDRAM() []uint32 { return c.Engines[0].SDRAM }
+
+// Scratch returns the shared scratch image.
+func (c *Chip) Scratch() []uint32 { return c.Engines[0].Scratch }
+
+// Load installs a program on every engine and resets the clocks.
+func (c *Chip) Load(p *asm.Program) {
+	for _, e := range c.Engines {
+		e.Load(p)
+	}
+}
+
+// Run advances all engines on a single global clock until every
+// started thread halts: at each step the engine with the smallest
+// local clock executes one scheduling quantum, so memory-port grants
+// are issued in true time order.
+func (c *Chip) Run(maxCycles int64) (*Stats, error) {
+	active := make([]bool, len(c.Engines))
+	anyStarted := false
+	for i, e := range c.Engines {
+		if e.prog == nil {
+			return nil, fmt.Errorf("ixp: engine %d has no program loaded", i)
+		}
+		active[i] = e.active()
+		if active[i] {
+			anyStarted = true
+		}
+	}
+	if !anyStarted {
+		return nil, fmt.Errorf("ixp: no engine has running threads")
+	}
+	for {
+		// Engine with the smallest local clock among active ones.
+		best := -1
+		for i, e := range c.Engines {
+			if !active[i] {
+				continue
+			}
+			if best < 0 || e.clock < c.Engines[best].clock {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // all done
+		}
+		e := c.Engines[best]
+		if e.clock >= maxCycles {
+			return nil, fmt.Errorf("ixp: cycle budget exhausted on engine %d", best)
+		}
+		done, err := e.tick()
+		if err != nil {
+			return nil, fmt.Errorf("engine %d: %w", best, err)
+		}
+		if done {
+			active[best] = false
+		}
+	}
+	// Aggregate statistics; the chip's cycle count is the slowest
+	// engine's clock.
+	total := &Stats{}
+	for _, e := range c.Engines {
+		st, err := e.stats()
+		if err != nil {
+			return nil, err
+		}
+		if st.Cycles > total.Cycles {
+			total.Cycles = st.Cycles
+		}
+		total.Instrs += st.Instrs
+		total.MemRefs += st.MemRefs
+		total.Swaps += st.Swaps
+		total.Results = append(total.Results, st.Results...)
+	}
+	return total, nil
+}
+
+// Seconds converts chip cycles to wall-clock seconds.
+func (c *Chip) Seconds(cycles int64) float64 {
+	return float64(cycles) / (c.Cfg.ClockMHz * 1e6)
+}

@@ -1,0 +1,164 @@
+package ixp
+
+import (
+	"testing"
+
+	"repro/internal/nova"
+)
+
+// chipProgram is a memory-heavy kernel: per packet, read 8 SRAM words,
+// combine, store back. SRAM port bandwidth bounds how many engines can
+// run it concurrently.
+const chipProgram = `
+fun main(base: word) -> word {
+  let (a0, a1, a2, a3, a4, a5, a6, a7) = sram[8](base);
+  let s = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+  sram(base + 8) <- s;
+  s
+}`
+
+func compileChipProgram(t *testing.T) (*nova.Compilation, []uint32) {
+	t.Helper()
+	comp, err := nova.Compile("chip.nova", chipProgram, nova.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, nil
+}
+
+func runChip(t *testing.T, comp *nova.Compilation, engines, threads int) *Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 12
+	cfg.SDRAMWords = 1 << 10
+	cfg.Threads = threads
+	chip := NewChip(cfg, engines)
+	sram := chip.SRAM()
+	for i := range sram {
+		sram[i] = uint32(i * 7)
+	}
+	chip.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < engines; e++ {
+		for th := 0; th < threads; th++ {
+			base := uint32((e*threads + th) * 32)
+			if err := chip.Engines[e].SetArgs(th, regs, []uint32{base}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := chip.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestChipCorrectness: every engine's computation lands correctly in
+// the shared SRAM.
+func TestChipCorrectness(t *testing.T) {
+	comp, _ := compileChipProgram(t)
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 12
+	cfg.Threads = 2
+	chip := NewChip(cfg, 3)
+	sram := chip.SRAM()
+	for i := range sram {
+		sram[i] = uint32(i * 7)
+	}
+	want := map[uint32]uint32{}
+	for e := 0; e < 3; e++ {
+		for th := 0; th < 2; th++ {
+			base := uint32((e*2 + th) * 32)
+			var s uint32
+			for k := uint32(0); k < 8; k++ {
+				s += (base + k) * 7
+			}
+			want[base+8] = s
+		}
+	}
+	chip.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		for th := 0; th < 2; th++ {
+			base := uint32((e*2 + th) * 32)
+			if err := chip.Engines[e].SetArgs(th, regs, []uint32{base}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := chip.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for addr, w := range want {
+		if sram[addr] != w {
+			t.Errorf("sram[%d] = %d, want %d", addr, sram[addr], w)
+		}
+	}
+}
+
+// TestChipContention: adding engines increases total throughput, but
+// sublinearly — the shared SRAM port saturates.
+func TestChipContention(t *testing.T) {
+	comp, _ := compileChipProgram(t)
+	cycles1 := runChip(t, comp, 1, 4).Cycles
+	cycles6 := runChip(t, comp, 6, 4).Cycles
+	// 6 engines do 6x the packets. Perfect scaling would keep the
+	// cycle count equal; port contention must make it worse than
+	// perfect but far better than serial.
+	if cycles6 <= cycles1 {
+		t.Fatalf("6 engines finished faster than 1 doing 6x the work? %d vs %d", cycles6, cycles1)
+	}
+	if cycles6 >= 6*cycles1 {
+		t.Fatalf("no parallel speedup: %d vs %d", cycles6, cycles1)
+	}
+	perPacket1 := float64(cycles1) / 4
+	perPacket6 := float64(cycles6) / 24
+	// Perfect scaling would divide the per-packet makespan by 6; the
+	// shared port keeps it above that.
+	if perPacket6 <= perPacket1/6 {
+		t.Fatalf("better-than-perfect scaling? %.1f vs %.1f/6", perPacket6, perPacket1)
+	}
+	t.Logf("1 engine: %.2f cycles/packet; 6 engines: %.2f (perfect would be %.2f; contention %.2fx)",
+		perPacket1, perPacket6, perPacket1/6, perPacket6/(perPacket1/6))
+}
+
+// TestChipSingleEngineMatchesMachine: a 1-engine chip behaves exactly
+// like a standalone Machine.
+func TestChipSingleEngineMatchesMachine(t *testing.T) {
+	comp, _ := compileChipProgram(t)
+	st1 := runChip(t, comp, 1, 4)
+
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 12
+	cfg.SDRAMWords = 1 << 10
+	cfg.Threads = 4
+	m := New(cfg)
+	for i := range m.SRAM {
+		m.SRAM[i] = uint32(i * 7)
+	}
+	m.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < 4; th++ {
+		if err := m.SetArgs(th, regs, []uint32{uint32(th * 32)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles != st2.Cycles || st1.Instrs != st2.Instrs {
+		t.Fatalf("chip(1) %d cycles/%d instrs, machine %d/%d",
+			st1.Cycles, st1.Instrs, st2.Cycles, st2.Instrs)
+	}
+}

@@ -1,0 +1,488 @@
+// Package ixp is a cycle-level simulator of an IXP1200 micro-engine as
+// seen by compiled Nova programs (Figure 1 of the paper): per-thread
+// A/B general-purpose banks, SRAM-side (L/S) and SDRAM-side (LD/SD)
+// transfer banks, shared scratch/SRAM/SDRAM memory, the hash unit, and
+// hardware multi-threading that swaps contexts to hide memory latency.
+//
+// The clock and latency parameters approximate the 233 MHz IXP1200 the
+// paper measures (§11): what the simulator preserves is the relative
+// cost structure — single-cycle ALU operations against tens-of-cycles
+// memory references — which determines the shape of the throughput
+// results.
+package ixp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/cps"
+	"repro/internal/types"
+)
+
+// Config sets the machine parameters.
+type Config struct {
+	ClockMHz       float64
+	SRAMWords      int
+	SDRAMWords     int
+	ScratchWords   int
+	Threads        int // hardware threads running the program
+	SRAMLatency    int // cycles until a read completes
+	SDRAMLatency   int
+	ScratchLatency int
+	HashLatency    int
+	FIFOLatency    int
+	BranchPenalty  int // extra cycles for a taken branch (pipeline refill)
+	SwapCost       int // context-switch cost in cycles
+
+	// Per-access port occupancies: how long each memory unit is busy
+	// per reference (bandwidth, as opposed to latency).
+	SRAMOccupancy    int
+	SDRAMOccupancy   int
+	ScratchOccupancy int
+	HashOccupancy    int
+}
+
+// DefaultConfig approximates the paper's 233 MHz IXP1200.
+func DefaultConfig() Config {
+	return Config{
+		ClockMHz:       233,
+		SRAMWords:      1 << 20,
+		SDRAMWords:     1 << 22,
+		ScratchWords:   1024,
+		Threads:        4,
+		SRAMLatency:    20,
+		SDRAMLatency:   36,
+		ScratchLatency: 14,
+		HashLatency:    18,
+		FIFOLatency:    10,
+		BranchPenalty:  2,
+		SwapCost:       1,
+
+		SRAMOccupancy:    2,
+		SDRAMOccupancy:   4,
+		ScratchOccupancy: 2,
+		HashOccupancy:    6,
+	}
+}
+
+// Machine is one micro-engine plus its attached memories.
+type Machine struct {
+	Cfg     Config
+	SRAM    []uint32
+	SDRAM   []uint32
+	Scratch []uint32
+	CSR     map[uint32]uint32
+	TX      []uint32 // transmit FIFO contents, in write order
+
+	prog    *asm.Program
+	threads []*thread
+
+	// Engine-local scheduling state (tick-based so several engines of
+	// one chip can interleave on a global clock).
+	clock int64
+	cur   int
+	swaps int64
+
+	// Memory units shared across the engines of a chip; accesses
+	// occupy a unit for a few cycles, so engines contend for
+	// bandwidth (the paper: "All tables reside in SRAM, resulting in
+	// contention").
+	units    map[cps.Space]*memUnit
+	hashUnit *memUnit
+}
+
+// memUnit models one memory port's bandwidth.
+type memUnit struct {
+	nextFree  int64
+	occupancy int64
+}
+
+// grant arbitrates an access issued at the given cycle and returns the
+// cycle at which the unit accepted it.
+func (u *memUnit) grant(cycle int64) int64 {
+	g := cycle
+	if u.nextFree > g {
+		g = u.nextFree
+	}
+	u.nextFree = g + u.occupancy
+	return g
+}
+
+type thread struct {
+	id      int
+	regs    [int(core.NumBanks)][16]uint32
+	pc      int
+	running bool
+	halted  bool
+	wakeAt  int64
+	results []uint32
+	rx      []uint32 // receive-FIFO contents for this thread
+
+	instrs  int64
+	memRefs int64
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		Cfg:     cfg,
+		SRAM:    make([]uint32, cfg.SRAMWords),
+		SDRAM:   make([]uint32, cfg.SDRAMWords),
+		Scratch: make([]uint32, cfg.ScratchWords),
+		CSR:     map[uint32]uint32{},
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		m.threads = append(m.threads, &thread{id: i})
+	}
+	m.units = map[cps.Space]*memUnit{
+		cps.SpaceSRAM:    {occupancy: int64(cfg.SRAMOccupancy)},
+		cps.SpaceSDRAM:   {occupancy: int64(cfg.SDRAMOccupancy)},
+		cps.SpaceScratch: {occupancy: int64(cfg.ScratchOccupancy)},
+	}
+	m.hashUnit = &memUnit{occupancy: int64(cfg.HashOccupancy)}
+	return m
+}
+
+// Load installs a program on every thread.
+func (m *Machine) Load(p *asm.Program) {
+	m.prog = p
+	for _, t := range m.threads {
+		t.pc = 0
+		t.halted = false
+		t.running = false
+		t.results = nil
+		t.wakeAt = 0
+		t.instrs, t.memRefs = 0, 0
+	}
+	m.clock = 0
+	m.cur = -1
+	m.swaps = 0
+	for _, u := range m.units {
+		u.nextFree = 0
+	}
+	m.hashUnit.nextFree = 0
+}
+
+// SetArgs places entry argument values into a thread's registers.
+func (m *Machine) SetArgs(threadID int, regs []asm.Reg, args []uint32) error {
+	if len(regs) != len(args) {
+		return fmt.Errorf("ixp: %d regs for %d args", len(regs), len(args))
+	}
+	t := m.threads[threadID]
+	for i, r := range regs {
+		t.regs[r.Bank][r.Idx] = args[i]
+	}
+	t.running = true
+	return nil
+}
+
+// SetRX fills a thread's receive FIFO.
+func (m *Machine) SetRX(threadID int, words []uint32) {
+	m.threads[threadID].rx = append([]uint32(nil), words...)
+}
+
+// Stats reports a run's outcome.
+type Stats struct {
+	Cycles  int64
+	Instrs  int64
+	MemRefs int64
+	Swaps   int64
+	Results [][]uint32 // per running thread, halt results
+}
+
+// Seconds converts cycles to wall-clock time at the configured clock.
+func (m *Machine) Seconds(cycles int64) float64 {
+	return float64(cycles) / (m.Cfg.ClockMHz * 1e6)
+}
+
+// tick advances the engine by one scheduling quantum at its local
+// clock: one instruction of the current thread, a context switch, or
+// an idle skip to the next wake-up. done reports that no started
+// thread can ever run again.
+func (m *Machine) tick() (done bool, err error) {
+	// Prefer the current thread while it is runnable (context switches
+	// are not free).
+	if m.cur >= 0 {
+		t := m.threads[m.cur]
+		if t.running && !t.halted && t.wakeAt <= m.clock {
+			c, err := m.step(t, m.clock)
+			if err != nil {
+				return false, fmt.Errorf("ixp: thread %d pc %d: %w", t.id, t.pc, err)
+			}
+			m.clock += int64(c)
+			return false, nil
+		}
+	}
+	// Pick the next runnable thread (round-robin from cur+1).
+	next := -1
+	for i := 1; i <= len(m.threads); i++ {
+		c := (m.cur + i) % len(m.threads)
+		t := m.threads[c]
+		if t.running && !t.halted && t.wakeAt <= m.clock {
+			next = c
+			break
+		}
+	}
+	if next < 0 {
+		// Advance to the earliest wake-up.
+		var minWake int64 = -1
+		for _, t := range m.threads {
+			if t.running && !t.halted {
+				if minWake < 0 || t.wakeAt < minWake {
+					minWake = t.wakeAt
+				}
+			}
+		}
+		if minWake < 0 {
+			return true, nil
+		}
+		if minWake <= m.clock {
+			return false, fmt.Errorf("ixp: scheduler stuck at cycle %d", m.clock)
+		}
+		m.clock = minWake
+		return false, nil
+	}
+	if m.cur >= 0 && next != m.cur {
+		m.clock += int64(m.Cfg.SwapCost)
+		m.swaps++
+	}
+	m.cur = next
+	return false, nil
+}
+
+// active reports whether any started thread is still running.
+func (m *Machine) active() bool {
+	for _, t := range m.threads {
+		if t.running && !t.halted {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes until every started thread halts or the cycle budget is
+// exhausted.
+func (m *Machine) Run(maxCycles int64) (*Stats, error) {
+	if m.prog == nil {
+		return nil, fmt.Errorf("ixp: no program loaded")
+	}
+	for m.clock < maxCycles {
+		done, err := m.tick()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	return m.stats()
+}
+
+func (m *Machine) stats() (*Stats, error) {
+	st := &Stats{Cycles: m.clock, Swaps: m.swaps}
+	for _, t := range m.threads {
+		st.Instrs += t.instrs
+		st.MemRefs += t.memRefs
+		if t.running {
+			st.Results = append(st.Results, t.results)
+		}
+		if t.running && !t.halted {
+			return st, fmt.Errorf("ixp: cycle budget exhausted (thread %d at pc %d)", t.id, t.pc)
+		}
+	}
+	return st, nil
+}
+
+func (t *thread) get(o asm.Operand) uint32 {
+	if o.IsImm {
+		return o.Imm
+	}
+	return t.regs[o.Reg.Bank][o.Reg.Idx]
+}
+
+func (m *Machine) mem(space cps.Space) ([]uint32, int, error) {
+	switch space {
+	case cps.SpaceSRAM:
+		return m.SRAM, m.Cfg.SRAMLatency, nil
+	case cps.SpaceSDRAM:
+		return m.SDRAM, m.Cfg.SDRAMLatency, nil
+	case cps.SpaceScratch:
+		return m.Scratch, m.Cfg.ScratchLatency, nil
+	}
+	return nil, 0, fmt.Errorf("bad space %v", space)
+}
+
+// step executes one instruction at the given cycle, returning its
+// issue cost. Blocking references set the thread's wake-up time; the
+// scheduler switches to another thread to hide the latency.
+func (m *Machine) step(t *thread, cycle int64) (int, error) {
+	block := func(lat int) (int, error) {
+		t.wakeAt = cycle + 1 + int64(lat)
+		return 1, nil
+	}
+	in := &m.prog.Instrs[t.pc]
+	t.instrs++
+	cost := 1
+	switch in.Op {
+	case asm.OpAlu:
+		l, r := t.get(in.L), t.get(in.R)
+		v, ok := types.EvalBinop(in.Alu, l, r)
+		if !ok {
+			return 0, fmt.Errorf("alu %v %d %d", in.Alu, l, r)
+		}
+		t.regs[in.Dst.Bank][in.Dst.Idx] = v
+		t.pc++
+	case asm.OpImm:
+		t.regs[in.Dst.Bank][in.Dst.Idx] = in.Val
+		cost = in.Words()
+		t.pc++
+	case asm.OpRead:
+		t.memRefs++
+		addr := t.get(in.Addr)
+		var lat int
+		if in.Space == cps.SpaceRFIFO {
+			lat = m.Cfg.FIFOLatency
+			for i := 0; i < in.Count; i++ {
+				idx := int(addr) + i
+				if idx >= len(t.rx) {
+					return 0, fmt.Errorf("rfifo read %d beyond %d", idx, len(t.rx))
+				}
+				t.regs[core.L][in.Base+i] = t.rx[idx]
+			}
+		} else {
+			mem, l, err := m.mem(in.Space)
+			if err != nil {
+				return 0, err
+			}
+			lat = l
+			if in.Space == cps.SpaceSDRAM && addr%2 != 0 {
+				return 0, fmt.Errorf("unaligned sdram read at %d", addr)
+			}
+			dstBank := core.L
+			if in.Space == cps.SpaceSDRAM {
+				dstBank = core.LD
+			}
+			for i := 0; i < in.Count; i++ {
+				idx := int(addr) + i
+				if idx >= len(mem) {
+					return 0, fmt.Errorf("%v read at %d out of range", in.Space, idx)
+				}
+				t.regs[dstBank][in.Base+i] = mem[idx]
+			}
+		}
+		// The thread blocks until the data arrives; other threads (and
+		// other engines) contend for the memory port.
+		t.pc++
+		if in.Space == cps.SpaceRFIFO {
+			return block(lat)
+		}
+		g := m.units[in.Space].grant(cycle + 1)
+		t.wakeAt = g + int64(lat)
+		return 1, nil
+	case asm.OpWrite:
+		t.memRefs++
+		addr := t.get(in.Addr)
+		if in.Space == cps.SpaceTFIFO {
+			for i := 0; i < in.Count; i++ {
+				m.TX = append(m.TX, t.regs[core.S][in.Base+i])
+			}
+			t.pc++
+			return 1, nil
+		}
+		mem, _, err := m.mem(in.Space)
+		if err != nil {
+			return 0, err
+		}
+		if in.Space == cps.SpaceSDRAM && addr%2 != 0 {
+			return 0, fmt.Errorf("unaligned sdram write at %d", addr)
+		}
+		srcBank := core.S
+		if in.Space == cps.SpaceSDRAM {
+			srcBank = core.SD
+		}
+		for i := 0; i < in.Count; i++ {
+			idx := int(addr) + i
+			if idx >= len(mem) {
+				return 0, fmt.Errorf("%v write at %d out of range", in.Space, idx)
+			}
+			mem[idx] = t.regs[srcBank][in.Base+i]
+		}
+		// Writes retire asynchronously; the thread keeps running, but
+		// the reference still consumes port bandwidth.
+		m.units[in.Space].grant(cycle + 1)
+		t.pc++
+	case asm.OpHash:
+		t.memRefs++
+		v := t.regs[core.S][in.Base]
+		t.regs[core.L][in.Dst.Idx] = cps.DefaultHash(v)
+		t.pc++
+		g := m.hashUnit.grant(cycle + 1)
+		t.wakeAt = g + int64(m.Cfg.HashLatency)
+		return 1, nil
+	case asm.OpBTS:
+		t.memRefs++
+		addr := t.get(in.Addr)
+		if int(addr) >= len(m.SRAM) {
+			return 0, fmt.Errorf("bts address %d out of range", addr)
+		}
+		old := m.SRAM[addr]
+		m.SRAM[addr] |= t.regs[core.S][in.Base]
+		t.regs[core.L][in.Dst.Idx] = old
+		t.pc++
+		u := m.units[cps.SpaceSRAM]
+		g := u.grant(cycle + 1)
+		u.grant(g) // read-modify-write holds the port twice
+		t.wakeAt = g + int64(m.Cfg.SRAMLatency)
+		return 1, nil
+	case asm.OpCSRRd:
+		t.regs[core.L][in.Dst.Idx] = m.CSR[t.get(in.Addr)]
+		t.pc++
+		cost = 2
+	case asm.OpCSRWr:
+		m.CSR[t.get(in.Addr)] = t.regs[core.S][in.Base]
+		t.pc++
+		cost = 2
+	case asm.OpCtxSwap:
+		t.pc++
+		return block(1)
+	case asm.OpBr:
+		l, r := t.get(in.L), t.get(in.R)
+		if cmpOp(in.Alu, l, r) {
+			t.pc = in.Target
+			cost = 1 + m.Cfg.BranchPenalty
+		} else {
+			t.pc++
+		}
+	case asm.OpJmp:
+		t.pc = in.Target
+		cost = 1 + m.Cfg.BranchPenalty
+	case asm.OpHalt:
+		for _, r := range in.Results {
+			t.results = append(t.results, t.get(r))
+		}
+		t.halted = true
+	default:
+		return 0, fmt.Errorf("bad opcode %v", in.Op)
+	}
+	return cost, nil
+}
+
+func cmpOp(op ast.BinOp, l, r uint32) bool {
+	switch op {
+	case ast.OpEq:
+		return l == r
+	case ast.OpNe:
+		return l != r
+	case ast.OpLt:
+		return l < r
+	case ast.OpGt:
+		return l > r
+	case ast.OpLe:
+		return l <= r
+	case ast.OpGe:
+		return l >= r
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package ixp
+
+import "testing"
+
+func TestE2ELoopWithReads(t *testing.T) {
+	differentialLike(t, `
+fun main(base: word, n: word) -> word {
+  let s0 = 1;
+  let s1 = 2;
+  let r = 0;
+  while (r < n) {
+    let (k0, k1) = sram[2](base + (r << 1));
+    let t0 = sram[1](0x40 + (s0 & 0xf)) ^ k0;
+    let t1 = sram[1](0x50 + (s1 & 0xf)) ^ k1;
+    let s0 = t0;
+    let s1 = t1;
+    let r = r + 1;
+  }
+  s0 ^ s1
+}`, []uint32{8, 5})
+}
+
+func TestE2ELoopStateRotation(t *testing.T) {
+	differentialLike(t, `
+fun main(n: word) -> word {
+  let a = 1;
+  let b = 2;
+  let c = 3;
+  let d = 4;
+  let r = 0;
+  while (r < n) {
+    let t = a ^ (b << 1) ^ (c << 2) ^ (d >> 1);
+    let a = b;
+    let b = c;
+    let c = d;
+    let d = t;
+    let r = r + 1;
+  }
+  a + b + c + d
+}`, []uint32{9})
+}
+
+func differentialLike(t *testing.T, src string, args []uint32) {
+	t.Helper()
+	compileRun(t, src, args, func(sram, _, _ []uint32) {
+		for i := range sram[:256] {
+			sram[i] = uint32(i*2654435761) ^ 0xabcd
+		}
+	})
+}

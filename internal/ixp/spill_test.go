@@ -1,0 +1,43 @@
+package ixp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/nova"
+)
+
+// TestE2EForcedSpill keeps more ALU values live than A and B can hold
+// (15 + 16 = 31), forcing the allocator to spill through scratch; the
+// compiled code must still compute correctly.
+func TestE2EForcedSpill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity-tight ILP")
+	}
+	const n = 34
+	var b strings.Builder
+	b.WriteString("fun main(a: word, q: word) -> word {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  let s%d = a + %d;\n", i, i*3+1)
+	}
+	// A barrier that keeps everything live: a memory write of two of
+	// them, then a sum of all.
+	b.WriteString("  sram(0x200) <- (s0, s1);\n")
+	b.WriteString("  let r = q")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " + s%d", i)
+	}
+	b.WriteString(";\n  r\n}\n")
+	src := b.String()
+
+	comp, err := nova.Compile("spill.nova", src, nova.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if comp.Alloc.Spills == 0 {
+		t.Fatalf("expected spills with %d simultaneously live ALU temps", n)
+	}
+	t.Logf("spills=%d moves=%d slots=%d", comp.Alloc.Spills, comp.Alloc.NumMoves(), comp.Assign.NumSpillSlots)
+	compileRun(t, src, []uint32{5, 7}, nil)
+}

@@ -1,0 +1,423 @@
+// Package layout implements the semantics of Nova layouts (§3.2 of the
+// paper): static descriptions of the arrangement of bitfields within a
+// byte stream. A layout determines two types — packed(l), a word tuple
+// holding raw bits, and unpacked(l), a record of extracted word-sized
+// bitfields — and the shift/mask plans that move data between them.
+//
+// Bit numbering is network order: bit offset 0 is the most significant
+// bit of the first 32-bit word, as packet headers are drawn.
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Layout is a resolved layout: a sequence of fields covering Bits bits.
+type Layout struct {
+	Bits   int
+	Fields []Field
+}
+
+// Field is one component of a layout. Exactly one of the following
+// holds: a leaf bitfield (Sub == nil, Overlay == nil), a sub-layout
+// (Sub != nil), or an overlay (len(Overlay) > 0). A gap is a leaf with
+// an empty Name. Offset is the bit offset from the layout start.
+type Field struct {
+	Name    string
+	Offset  int
+	Bits    int
+	Sub     *Layout
+	Overlay []Alt
+}
+
+// Alt is one alternative of an overlay. All alternatives of an overlay
+// cover the same bit range.
+type Alt struct {
+	Name string
+	Bits int
+	Sub  *Layout // nil for a leaf alternative
+}
+
+// Words returns the number of 32-bit words of packed(l):
+// ceil(Bits / 32). (The paper: packed(ipv6_header) = word[10].)
+func (l *Layout) Words() int { return (l.Bits + 31) / 32 }
+
+// Env resolves layout names during Resolve.
+type Env interface {
+	LookupLayout(name string) (*Layout, bool)
+}
+
+// MapEnv is a map-backed Env.
+type MapEnv map[string]*Layout
+
+// LookupLayout implements Env.
+func (m MapEnv) LookupLayout(name string) (*Layout, bool) {
+	l, ok := m[name]
+	return l, ok
+}
+
+// Resolve elaborates a syntactic layout expression into a Layout,
+// resolving names through env and assigning bit offsets.
+func Resolve(e ast.LayoutExpr, env Env) (*Layout, error) {
+	switch e := e.(type) {
+	case *ast.LayoutName:
+		l, ok := env.LookupLayout(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("undefined layout %q", e.Name)
+		}
+		return l, nil
+	case *ast.LayoutGap:
+		if e.Bits < 0 {
+			return nil, fmt.Errorf("negative gap width %d", e.Bits)
+		}
+		return &Layout{Bits: e.Bits, Fields: []Field{{Bits: e.Bits}}}, nil
+	case *ast.LayoutConcat:
+		l, err := Resolve(e.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Resolve(e.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Concat(l, r), nil
+	case *ast.LayoutLit:
+		out := &Layout{}
+		seen := make(map[string]bool)
+		for _, f := range e.Fields {
+			if f.Name != "" {
+				if seen[f.Name] {
+					return nil, fmt.Errorf("duplicate layout field %q", f.Name)
+				}
+				seen[f.Name] = true
+			}
+			rf, err := resolveField(f, env)
+			if err != nil {
+				return nil, err
+			}
+			rf.Offset = out.Bits
+			out.Bits += rf.Bits
+			out.Fields = append(out.Fields, rf)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown layout expression %T", e)
+	}
+}
+
+func resolveField(f ast.LayoutField, env Env) (Field, error) {
+	switch {
+	case len(f.Overlay) > 0:
+		out := Field{Name: f.Name}
+		for i, a := range f.Overlay {
+			ra, err := resolveField(a, env)
+			if err != nil {
+				return Field{}, err
+			}
+			alt := Alt{Name: ra.Name, Bits: ra.Bits, Sub: ra.Sub}
+			if ra.Sub == nil && len(ra.Overlay) > 0 {
+				return Field{}, fmt.Errorf("overlay %q: nested overlay alternative %q must be wrapped in a layout", f.Name, a.Name)
+			}
+			if i == 0 {
+				out.Bits = alt.Bits
+			} else if alt.Bits != out.Bits {
+				return Field{}, fmt.Errorf("overlay %q: alternative %q covers %d bits, others cover %d",
+					f.Name, alt.Name, alt.Bits, out.Bits)
+			}
+			out.Overlay = append(out.Overlay, alt)
+		}
+		return out, nil
+	case f.Sub != nil:
+		sub, err := Resolve(f.Sub, env)
+		if err != nil {
+			return Field{}, err
+		}
+		return Field{Name: f.Name, Bits: sub.Bits, Sub: sub}, nil
+	default:
+		if f.Bits <= 0 || f.Bits > 32 {
+			return Field{}, fmt.Errorf("bitfield %q: width %d out of range 1..32", f.Name, f.Bits)
+		}
+		return Field{Name: f.Name, Bits: f.Bits}, nil
+	}
+}
+
+// Concat returns the sequential concatenation a ## b.
+func Concat(a, b *Layout) *Layout {
+	out := &Layout{Bits: a.Bits + b.Bits}
+	out.Fields = append(out.Fields, a.Fields...)
+	for _, f := range b.Fields {
+		f.Offset += a.Bits
+		out.Fields = append(out.Fields, f)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+
+// Choice records that a leaf lives inside alternative Alt of the
+// overlay field reached at Path.
+type Choice struct {
+	Path string // dotted path of the overlay field itself
+	Alt  string
+}
+
+// Leaf is one extractable bitfield with its absolute position.
+type Leaf struct {
+	Path    string // dotted path, e.g. "verpri.parts.version"
+	Offset  int    // absolute bit offset within the layout
+	Bits    int
+	Choices []Choice // overlay alternatives this leaf belongs to
+}
+
+// Leaves returns every leaf bitfield of l, including all alternatives
+// of every overlay (unpack extracts them all; see §3.2), in layout
+// order. Gaps are omitted.
+func (l *Layout) Leaves() []Leaf {
+	var out []Leaf
+	walkLeaves(l, "", 0, nil, &out)
+	return out
+}
+
+func walkLeaves(l *Layout, prefix string, base int, choices []Choice, out *[]Leaf) {
+	for _, f := range l.Fields {
+		if f.Name == "" {
+			continue // gap
+		}
+		path := joinPath(prefix, f.Name)
+		off := base + f.Offset
+		switch {
+		case len(f.Overlay) > 0:
+			for _, a := range f.Overlay {
+				sub := append(append([]Choice(nil), choices...), Choice{Path: path, Alt: a.Name})
+				apath := joinPath(path, a.Name)
+				if a.Sub != nil {
+					walkLeaves(a.Sub, apath, off, sub, out)
+				} else {
+					*out = append(*out, Leaf{Path: apath, Offset: off, Bits: a.Bits, Choices: sub})
+				}
+			}
+		case f.Sub != nil:
+			walkLeaves(f.Sub, path, off, choices, out)
+		default:
+			*out = append(*out, Leaf{Path: path, Offset: off, Bits: f.Bits, Choices: choices})
+		}
+	}
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// FindLeaf returns the leaf with the given dotted path.
+func (l *Layout) FindLeaf(path string) (Leaf, bool) {
+	for _, lf := range l.Leaves() {
+		if lf.Path == path {
+			return lf, true
+		}
+	}
+	return Leaf{}, false
+}
+
+// Overlays returns the dotted paths of every overlay field in l,
+// with the names of their alternatives.
+func (l *Layout) Overlays() map[string][]string {
+	out := make(map[string][]string)
+	walkOverlays(l, "", out)
+	return out
+}
+
+func walkOverlays(l *Layout, prefix string, out map[string][]string) {
+	for _, f := range l.Fields {
+		if f.Name == "" {
+			continue
+		}
+		path := joinPath(prefix, f.Name)
+		switch {
+		case len(f.Overlay) > 0:
+			var alts []string
+			for _, a := range f.Overlay {
+				alts = append(alts, a.Name)
+				if a.Sub != nil {
+					walkOverlays(a.Sub, joinPath(path, a.Name), out)
+				}
+			}
+			out[path] = alts
+		case f.Sub != nil:
+			walkOverlays(f.Sub, path, out)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extraction and deposit plans
+
+// Term is one (word >> shr) & mask << shl contribution to an extracted
+// value. Mask is the mask applied after the right shift.
+type Term struct {
+	Word int
+	Shr  uint
+	Mask uint32
+	Shl  uint
+}
+
+// Plan describes how to compute one leaf value from packed words, as a
+// bitwise OR of one or two Terms (a field of at most 32 bits straddles
+// at most one word boundary).
+type Plan struct {
+	Terms []Term
+}
+
+// MaskOf returns the w-bit all-ones mask.
+func MaskOf(w int) uint32 {
+	if w >= 32 {
+		return 0xffffffff
+	}
+	return (1 << uint(w)) - 1
+}
+
+// ExtractPlan computes the plan for a field at absolute bit offset off
+// with the given width. The caller guarantees 1 <= width <= 32.
+func ExtractPlan(off, width int) Plan {
+	end := off + width
+	w0 := off / 32
+	w1 := (end - 1) / 32
+	if w0 == w1 {
+		shr := uint(32 - end%32)
+		if end%32 == 0 {
+			shr = 0
+		}
+		return Plan{Terms: []Term{{Word: w0, Shr: shr, Mask: MaskOf(width)}}}
+	}
+	// Straddle: hi bits from w0, lo bits from w1.
+	loBits := end % 32
+	hiBits := width - loBits
+	return Plan{Terms: []Term{
+		{Word: w0, Shr: 0, Mask: MaskOf(hiBits), Shl: uint(loBits)},
+		{Word: w1, Shr: uint(32 - loBits), Mask: MaskOf(loBits), Shl: 0},
+	}}
+}
+
+// Eval applies the plan to packed words.
+func (p Plan) Eval(words []uint32) uint32 {
+	var v uint32
+	for _, t := range p.Terms {
+		v |= ((words[t.Word] >> t.Shr) & t.Mask) << t.Shl
+	}
+	return v
+}
+
+// Cost estimates the micro-engine instruction count of the plan: a
+// shift and a mask each cost one instruction; a whole aligned word is
+// free; ORing a second term costs one more.
+func (p Plan) Cost() int {
+	c := 0
+	for _, t := range p.Terms {
+		if t.Shr != 0 || t.Shl != 0 {
+			c++
+		}
+		if t.Mask != 0xffffffff && !coveredByShift(t) {
+			c++
+		}
+	}
+	if len(p.Terms) > 1 {
+		c++ // OR of the two contributions
+	}
+	return c
+}
+
+// coveredByShift reports whether the right shift already cleared all
+// bits above the mask, making the AND redundant.
+func coveredByShift(t Term) bool {
+	return t.Shr != 0 && uint32(0xffffffff)>>t.Shr == t.Mask
+}
+
+// DepositSpan is one word-level deposit: word &^ mask | (value-part).
+type DepositSpan struct {
+	Word int
+	Mask uint32 // bits of the word occupied by this field part
+	Shr  uint   // right shift applied to the field value
+	Shl  uint   // left shift applied to the field value
+}
+
+// DepositPlan computes how to insert a width-bit value at bit offset
+// off into packed words.
+func DepositPlan(off, width int) []DepositSpan {
+	end := off + width
+	w0 := off / 32
+	w1 := (end - 1) / 32
+	if w0 == w1 {
+		shl := uint(32 - end%32)
+		if end%32 == 0 {
+			shl = 0
+		}
+		return []DepositSpan{{Word: w0, Mask: MaskOf(width) << shl, Shl: shl}}
+	}
+	loBits := end % 32
+	hiBits := width - loBits
+	return []DepositSpan{
+		{Word: w0, Mask: MaskOf(hiBits), Shr: uint(loBits)},
+		{Word: w1, Mask: MaskOf(loBits) << uint(32-loBits), Shl: uint(32 - loBits)},
+	}
+}
+
+// Deposit writes value into words according to the plan, first masking
+// value to its width.
+func Deposit(words []uint32, off, width int, value uint32) {
+	value &= MaskOf(width)
+	for _, d := range DepositPlan(off, width) {
+		part := value
+		part >>= d.Shr
+		part <<= d.Shl
+		words[d.Word] = words[d.Word]&^d.Mask | part&d.Mask
+	}
+}
+
+// Extract reads the value of a width-bit field at bit offset off.
+func Extract(words []uint32, off, width int) uint32 {
+	return ExtractPlan(off, width).Eval(words)
+}
+
+// String renders the layout for diagnostics.
+func (l *Layout) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range l.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeField(&b, f)
+	}
+	fmt.Fprintf(&b, "}:%d", l.Bits)
+	return b.String()
+}
+
+func writeField(b *strings.Builder, f Field) {
+	switch {
+	case f.Name == "":
+		fmt.Fprintf(b, "{%d}", f.Bits)
+	case len(f.Overlay) > 0:
+		fmt.Fprintf(b, "%s: overlay{", f.Name)
+		for i, a := range f.Overlay {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			if a.Sub != nil {
+				fmt.Fprintf(b, "%s: %s", a.Name, a.Sub)
+			} else {
+				fmt.Fprintf(b, "%s: %d", a.Name, a.Bits)
+			}
+		}
+		b.WriteByte('}')
+	case f.Sub != nil:
+		fmt.Fprintf(b, "%s: %s", f.Name, f.Sub)
+	default:
+		fmt.Fprintf(b, "%s: %d", f.Name, f.Bits)
+	}
+}

@@ -1,0 +1,357 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// resolve parses layout declarations and returns the named layout.
+func resolve(t *testing.T, src, name string) *Layout {
+	t.Helper()
+	prog, errs := parser.ParseString("t.nova", src)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs)
+	}
+	env := MapEnv{}
+	for _, d := range prog.Decls {
+		ld, ok := d.(*ast.LayoutDecl)
+		if !ok {
+			continue
+		}
+		l, err := Resolve(ld.Body, env)
+		if err != nil {
+			t.Fatalf("resolve %s: %v", ld.Name, err)
+		}
+		env[ld.Name] = l
+	}
+	l, ok := env[name]
+	if !ok {
+		t.Fatalf("layout %q not declared", name)
+	}
+	return l
+}
+
+const ipv6Src = `
+layout ipv6_address = { a1 : 32, a2 : 32, a3 : 32, a4 : 32 };
+layout ipv6_header = {
+  version : 4, priority : 4, flow_label : 24,
+  payload_length : 16, next_header : 8, hop_limit : 8,
+  src_address : ipv6_address, dst_address : ipv6_address
+};`
+
+func TestIPv6HeaderSize(t *testing.T) {
+	l := resolve(t, ipv6Src, "ipv6_header")
+	if l.Bits != 320 {
+		t.Fatalf("bits = %d, want 320", l.Bits)
+	}
+	// The paper: packed(ipv6_header) is a synonym for word[10].
+	if l.Words() != 10 {
+		t.Fatalf("words = %d, want 10", l.Words())
+	}
+}
+
+func TestLeafOffsets(t *testing.T) {
+	l := resolve(t, ipv6Src, "ipv6_header")
+	leaves := l.Leaves()
+	want := map[string][2]int{
+		"version":        {0, 4},
+		"priority":       {4, 4},
+		"flow_label":     {8, 24},
+		"payload_length": {32, 16},
+		"next_header":    {48, 8},
+		"hop_limit":      {56, 8},
+		"src_address.a1": {64, 32},
+		"src_address.a4": {160, 32},
+		"dst_address.a1": {192, 32},
+		"dst_address.a4": {288, 32},
+	}
+	byPath := map[string]Leaf{}
+	for _, lf := range leaves {
+		byPath[lf.Path] = lf
+	}
+	if len(leaves) != 14 {
+		t.Fatalf("got %d leaves, want 14", len(leaves))
+	}
+	for path, ow := range want {
+		lf, ok := byPath[path]
+		if !ok {
+			t.Errorf("missing leaf %q", path)
+			continue
+		}
+		if lf.Offset != ow[0] || lf.Bits != ow[1] {
+			t.Errorf("%s: offset/bits = %d/%d, want %d/%d", path, lf.Offset, lf.Bits, ow[0], ow[1])
+		}
+	}
+}
+
+const overlaySrc = `
+layout h = {
+  verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } },
+  flow_label : 24
+};`
+
+func TestOverlayLeaves(t *testing.T) {
+	l := resolve(t, overlaySrc, "h")
+	if l.Bits != 32 {
+		t.Fatalf("bits = %d", l.Bits)
+	}
+	byPath := map[string]Leaf{}
+	for _, lf := range l.Leaves() {
+		byPath[lf.Path] = lf
+	}
+	whole := byPath["verpri.whole"]
+	if whole.Offset != 0 || whole.Bits != 8 {
+		t.Fatalf("whole = %+v", whole)
+	}
+	pri := byPath["verpri.parts.priority"]
+	if pri.Offset != 4 || pri.Bits != 4 {
+		t.Fatalf("priority = %+v", pri)
+	}
+	if len(pri.Choices) != 1 || pri.Choices[0].Path != "verpri" || pri.Choices[0].Alt != "parts" {
+		t.Fatalf("choices = %+v", pri.Choices)
+	}
+	ovs := l.Overlays()
+	if alts := ovs["verpri"]; len(alts) != 2 || alts[0] != "whole" {
+		t.Fatalf("overlays = %+v", ovs)
+	}
+}
+
+func TestOverlayWidthMismatch(t *testing.T) {
+	prog, errs := parser.ParseString("t.nova",
+		`layout bad = { v : overlay { a : 8 | b : 9 } };`)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs)
+	}
+	ld := prog.Decls[0].(*ast.LayoutDecl)
+	if _, err := Resolve(ld.Body, MapEnv{}); err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+}
+
+func TestBadWidths(t *testing.T) {
+	for _, src := range []string{
+		`layout bad = { v : 33 };`,
+		`layout bad = { v : 0 };`,
+		`layout bad = { v : 8, v : 8 };`,
+	} {
+		prog, errs := parser.ParseString("t.nova", src)
+		if errs.HasErrors() {
+			t.Fatalf("parse: %v", errs)
+		}
+		ld := prog.Decls[0].(*ast.LayoutDecl)
+		if _, err := Resolve(ld.Body, MapEnv{}); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestUndefinedLayout(t *testing.T) {
+	prog, _ := parser.ParseString("t.nova", `layout l = { x : nosuch };`)
+	ld := prog.Decls[0].(*ast.LayoutDecl)
+	if _, err := Resolve(ld.Body, MapEnv{}); err == nil {
+		t.Fatal("expected undefined-layout error")
+	}
+}
+
+// TestConcatAlignments mirrors the paper's example: a 56-bit layout lyt
+// placed at offsets 0, 16, 24 within a 96-bit packed tuple.
+func TestConcatAlignments(t *testing.T) {
+	src := `layout lyt = { x : 16, y : 32, z : 8 };
+layout at0  = lyt ## {40};
+layout at16 = {16} ## lyt ## {24};
+layout at24 = {24} ## lyt ## {16};`
+	for _, tc := range []struct {
+		name   string
+		xOff   int
+		yWords int // words the y extraction touches
+	}{
+		{"at0", 0, 2},   // y occupies bits 16..48: straddles
+		{"at16", 16, 1}, // y occupies bits 32..64: exactly word 1
+		{"at24", 24, 2}, // y occupies bits 40..72: straddles
+	} {
+		l := resolve(t, src, tc.name)
+		if l.Bits != 96 || l.Words() != 3 {
+			t.Fatalf("%s: bits=%d words=%d", tc.name, l.Bits, l.Words())
+		}
+		x, ok := l.FindLeaf("x")
+		if !ok || x.Offset != tc.xOff {
+			t.Fatalf("%s: x = %+v", tc.name, x)
+		}
+		y, _ := l.FindLeaf("y")
+		plan := ExtractPlan(y.Offset, y.Bits)
+		if len(plan.Terms) != tc.yWords {
+			t.Fatalf("%s: y plan touches %d words, want %d", tc.name, len(plan.Terms), tc.yWords)
+		}
+	}
+}
+
+func TestExtractDepositRoundTrip(t *testing.T) {
+	words := make([]uint32, 4)
+	Deposit(words, 4, 8, 0xab)
+	if got := Extract(words, 4, 8); got != 0xab {
+		t.Fatalf("extract = %#x", got)
+	}
+	// Straddling a word boundary.
+	Deposit(words, 28, 16, 0xbeef)
+	if got := Extract(words, 28, 16); got != 0xbeef {
+		t.Fatalf("straddle extract = %#x", got)
+	}
+	// Earlier deposit must be intact.
+	if got := Extract(words, 4, 8); got != 0xab {
+		t.Fatalf("extract after straddle = %#x", got)
+	}
+}
+
+// Property: deposit-then-extract returns the (masked) value for any
+// offset/width, and never disturbs other bits.
+func TestDepositExtractProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint32, 8)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		width := 1 + rng.Intn(32)
+		off := rng.Intn(len(words)*32 - width)
+		value := rng.Uint32()
+		before := append([]uint32(nil), words...)
+		Deposit(words, off, width, value)
+		if Extract(words, off, width) != value&MaskOf(width) {
+			return false
+		}
+		// All bits outside [off, off+width) unchanged.
+		for b := 0; b < len(words)*32; b++ {
+			if b >= off && b < off+width {
+				continue
+			}
+			w, s := b/32, uint(31-b%32)
+			if (words[w]>>s)&1 != (before[w]>>s)&1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random layouts, depositing random values into all
+// leaves of one overlay choice and extracting them back is identity.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLayout(rng, 2)
+		if l.Bits == 0 {
+			return true
+		}
+		leaves := chooseAlts(l.Leaves(), rng)
+		words := make([]uint32, l.Words())
+		want := make(map[string]uint32)
+		for _, lf := range leaves {
+			v := rng.Uint32() & MaskOf(lf.Bits)
+			Deposit(words, lf.Offset, lf.Bits, v)
+			want[lf.Path] = v
+		}
+		for _, lf := range leaves {
+			if Extract(words, lf.Offset, lf.Bits) != want[lf.Path] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chooseAlts filters leaves to a single consistent alternative per overlay.
+func chooseAlts(leaves []Leaf, rng *rand.Rand) []Leaf {
+	chosen := make(map[string]string)
+	var out []Leaf
+	for _, lf := range leaves {
+		ok := true
+		for _, c := range lf.Choices {
+			if alt, seen := chosen[c.Path]; seen {
+				if alt != c.Alt {
+					ok = false
+					break
+				}
+			} else if rng.Intn(2) == 0 {
+				chosen[c.Path] = c.Alt
+			} else {
+				chosen[c.Path] = c.Alt // first-seen wins; deterministic enough
+			}
+		}
+		if ok {
+			out = append(out, lf)
+		}
+	}
+	return out
+}
+
+// randomLayout builds a random well-formed layout of nesting depth <= d.
+func randomLayout(rng *rand.Rand, d int) *Layout {
+	n := 1 + rng.Intn(5)
+	l := &Layout{}
+	for i := 0; i < n; i++ {
+		var f Field
+		switch k := rng.Intn(10); {
+		case k == 0: // gap
+			f = Field{Bits: 1 + rng.Intn(16)}
+		case k <= 6 || d == 0: // leaf
+			f = Field{Name: fieldName(i), Bits: 1 + rng.Intn(32)}
+		case k <= 8: // sub-layout
+			sub := randomLayout(rng, d-1)
+			f = Field{Name: fieldName(i), Bits: sub.Bits, Sub: sub}
+		default: // overlay with two alternatives of equal width
+			sub := randomLayout(rng, d-1)
+			if sub.Bits == 0 || sub.Bits > 32 {
+				f = Field{Name: fieldName(i), Bits: 8}
+				break
+			}
+			f = Field{Name: fieldName(i), Bits: sub.Bits, Overlay: []Alt{
+				{Name: "whole", Bits: sub.Bits},
+				{Name: "parts", Bits: sub.Bits, Sub: sub},
+			}}
+		}
+		f.Offset = l.Bits
+		l.Bits += f.Bits
+		l.Fields = append(l.Fields, f)
+	}
+	return l
+}
+
+func fieldName(i int) string { return string(rune('a' + i)) }
+
+func TestPlanCost(t *testing.T) {
+	cases := []struct {
+		off, width int
+		maxCost    int
+	}{
+		{0, 32, 0},  // aligned whole word: free
+		{32, 32, 0}, // second word
+		{0, 8, 1},   // leading byte: shift only (shift clears low bits? no: shr)
+		{24, 8, 1},  // trailing byte: mask only
+		{4, 8, 2},   // interior: shift + mask
+		{28, 16, 5}, // straddle: two terms + or
+	}
+	for _, tc := range cases {
+		p := ExtractPlan(tc.off, tc.width)
+		if c := p.Cost(); c > tc.maxCost {
+			t.Errorf("ExtractPlan(%d,%d).Cost() = %d, want <= %d", tc.off, tc.width, c, tc.maxCost)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := resolve(t, overlaySrc, "h")
+	s := l.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,236 @@
+// Package lexer implements the Nova scanner. It is a hand-written
+// single-pass scanner over ASCII source with // and /* */ comments,
+// decimal and hexadecimal integer literals, and the two-character
+// operators of the language (##, <-, ->, <<, >>, ==, != and friends).
+package lexer
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is one scanned token with its source span and literal text.
+type Token struct {
+	Kind token.Kind
+	Span source.Span
+	Text string
+}
+
+// Lexer scans one file. Construct with New; call Next until EOF.
+type Lexer struct {
+	file *source.File
+	errs *source.ErrorList
+	src  string
+	off  int
+}
+
+// New returns a Lexer over f, reporting malformed input to errs.
+func New(f *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: f, errs: errs, src: f.Content}
+}
+
+// ScanAll scans the whole file, returning every token up to and
+// including the EOF token.
+func ScanAll(f *source.File, errs *source.ErrorList) []Token {
+	lx := New(f, errs)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 < len(l.src) {
+		return l.src[l.off+1]
+	}
+	return 0
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+// skipSpace advances past whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.src[l.off]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.off++
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.off
+			l.off += 2
+			for l.off < len(l.src) && !(l.src[l.off] == '*' && l.peek2() == '/') {
+				l.off++
+			}
+			if l.off >= len(l.src) {
+				l.errs.Errorf(source.MakeSpan(l.file.Pos(start), l.file.Pos(l.off)),
+					"unterminated block comment")
+				return
+			}
+			l.off += 2
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	start := l.off
+	mk := func(k token.Kind) Token {
+		return Token{
+			Kind: k,
+			Span: source.MakeSpan(l.file.Pos(start), l.file.Pos(l.off)),
+			Text: l.src[start:l.off],
+		}
+	}
+	if l.off >= len(l.src) {
+		return mk(token.EOF)
+	}
+	c := l.src[l.off]
+	switch {
+	case isLetter(c):
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		text := l.src[start:l.off]
+		if text == "_" {
+			return mk(token.Underscore)
+		}
+		return mk(token.Lookup(text))
+	case isDigit(c):
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.off += 2
+			if !isHexDigit(l.peek()) {
+				l.errs.Errorf(source.MakeSpan(l.file.Pos(start), l.file.Pos(l.off)),
+					"malformed hexadecimal literal")
+			}
+			for isHexDigit(l.peek()) {
+				l.off++
+			}
+			return mk(token.Int)
+		}
+		for isDigit(l.peek()) {
+			l.off++
+		}
+		return mk(token.Int)
+	case c == '"':
+		l.off++
+		for l.off < len(l.src) && l.src[l.off] != '"' && l.src[l.off] != '\n' {
+			l.off++
+		}
+		if l.peek() != '"' {
+			l.errs.Errorf(source.MakeSpan(l.file.Pos(start), l.file.Pos(l.off)),
+				"unterminated string literal")
+			return mk(token.String)
+		}
+		l.off++
+		return mk(token.String)
+	}
+	// Operators and punctuation.
+	l.off++
+	two := func(next byte, k2, k1 token.Kind) Token {
+		if l.peek() == next {
+			l.off++
+			return mk(k2)
+		}
+		return mk(k1)
+	}
+	switch c {
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semi)
+	case ':':
+		return mk(token.Colon)
+	case '.':
+		return mk(token.Dot)
+	case '+':
+		return mk(token.Plus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '%':
+		return mk(token.Percent)
+	case '^':
+		return mk(token.Caret)
+	case '~':
+		return mk(token.Tilde)
+	case '-':
+		return two('>', token.Arrow, token.Minus)
+	case '#':
+		if l.peek() == '#' {
+			l.off++
+			return mk(token.HashHash)
+		}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Ne, token.Not)
+	case '&':
+		return two('&', token.AndAnd, token.Amp)
+	case '|':
+		return two('|', token.OrOr, token.Bar)
+	case '<':
+		switch l.peek() {
+		case '-':
+			l.off++
+			return mk(token.LArrow)
+		case '<':
+			l.off++
+			return mk(token.Shl)
+		case '=':
+			l.off++
+			return mk(token.Le)
+		}
+		return mk(token.Lt)
+	case '>':
+		switch l.peek() {
+		case '>':
+			l.off++
+			return mk(token.Shr)
+		case '=':
+			l.off++
+			return mk(token.Ge)
+		}
+		return mk(token.Gt)
+	}
+	l.errs.Errorf(source.MakeSpan(l.file.Pos(start), l.file.Pos(l.off)),
+		"unexpected character %q", c)
+	return mk(token.Invalid)
+}

@@ -1,0 +1,178 @@
+package lexer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.ErrorList) {
+	t.Helper()
+	f := source.NewFile("test.nova", src)
+	errs := source.NewErrorList(f)
+	return ScanAll(f, errs), errs
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"", []token.Kind{token.EOF}},
+		{"x", []token.Kind{token.Ident, token.EOF}},
+		{"123 0x7f 0XFF", []token.Kind{token.Int, token.Int, token.Int, token.EOF}},
+		{"let x = 4;", []token.Kind{token.KwLet, token.Ident, token.Assign, token.Int, token.Semi, token.EOF}},
+		{"a ## b", []token.Kind{token.Ident, token.HashHash, token.Ident, token.EOF}},
+		{"x <- y -> z", []token.Kind{token.Ident, token.LArrow, token.Ident, token.Arrow, token.Ident, token.EOF}},
+		{"a << 2 >> b", []token.Kind{token.Ident, token.Shl, token.Int, token.Shr, token.Ident, token.EOF}},
+		{"a <= b >= c < d > e", []token.Kind{token.Ident, token.Le, token.Ident, token.Ge, token.Ident, token.Lt, token.Ident, token.Gt, token.Ident, token.EOF}},
+		{"== != && || ! & |", []token.Kind{token.Eq, token.Ne, token.AndAnd, token.OrOr, token.Not, token.Amp, token.Bar, token.EOF}},
+		{"layout fun if else while try handle raise pack unpack",
+			[]token.Kind{token.KwLayout, token.KwFun, token.KwIf, token.KwElse, token.KwWhile,
+				token.KwTry, token.KwHandle, token.KwRaise, token.KwPack, token.KwUnpack, token.EOF}},
+		{"overlay word bool packed unpacked exn true false return",
+			[]token.Kind{token.KwOverlay, token.KwWord, token.KwBool, token.KwPacked,
+				token.KwUnpacked, token.KwExn, token.KwTrue, token.KwFalse, token.KwReturn, token.EOF}},
+		{"[x=4, y=3]", []token.Kind{token.LBracket, token.Ident, token.Assign, token.Int,
+			token.Comma, token.Ident, token.Assign, token.Int, token.RBracket, token.EOF}},
+		{"{a : 32}", []token.Kind{token.LBrace, token.Ident, token.Colon, token.Int, token.RBrace, token.EOF}},
+		{"_", []token.Kind{token.Underscore, token.EOF}},
+		{"a.b", []token.Kind{token.Ident, token.Dot, token.Ident, token.EOF}},
+		{"+ - * / % ^ ~", []token.Kind{token.Plus, token.Minus, token.Star, token.Slash,
+			token.Percent, token.Caret, token.Tilde, token.EOF}},
+	}
+	for _, tt := range tests {
+		toks, errs := scan(t, tt.src)
+		if errs.HasErrors() {
+			t.Errorf("scan(%q): unexpected errors: %v", tt.src, errs)
+			continue
+		}
+		got := kinds(toks)
+		if len(got) != len(tt.want) {
+			t.Errorf("scan(%q) = %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("scan(%q)[%d] = %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	got := kinds(toks)
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := scan(t, "a /* never ends")
+	if !errs.HasErrors() {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	toks, errs := scan(t, "a $ b")
+	if !errs.HasErrors() {
+		t.Fatal("expected error for $")
+	}
+	if toks[1].Kind != token.Invalid {
+		t.Fatalf("token 1 = %v, want Invalid", toks[1].Kind)
+	}
+}
+
+func TestLiteralText(t *testing.T) {
+	toks, errs := scan(t, "foo 0x60 42")
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Text != "foo" || toks[1].Text != "0x60" || toks[2].Text != "42" {
+		t.Fatalf("texts = %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	f := source.NewFile("t", "let foo = 1;")
+	errs := source.NewErrorList(f)
+	toks := ScanAll(f, errs)
+	loc := f.Locate(toks[1].Span.Start)
+	if loc.Line != 1 || loc.Col != 5 {
+		t.Fatalf("foo located at %v, want 1:5", loc)
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, errs := scan(t, `"hello world"`)
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Kind != token.String || toks[0].Text != `"hello world"` {
+		t.Fatalf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	_, errs2 := scan(t, `"unterminated`)
+	if !errs2.HasErrors() {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+// TestRoundTrip is a property test: rejoining scanned token texts with
+// single spaces and rescanning yields the same token kinds and texts.
+func TestRoundTrip(t *testing.T) {
+	vocab := []string{
+		"let", "fun", "if", "else", "while", "layout", "overlay", "pack", "unpack",
+		"x", "y", "foo_bar", "v123", "0x1f", "42", "0", "(", ")", "{", "}", "[", "]",
+		",", ";", ":", ".", "->", "<-", "##", "=", "==", "!=", "<", ">", "<=", ">=",
+		"<<", ">>", "+", "-", "*", "/", "%", "&", "|", "^", "~", "&&", "||", "!", "_",
+	}
+	gen := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		src := strings.Join(parts, " ")
+		toks, errs := scan(t, src)
+		if errs.HasErrors() {
+			return false
+		}
+		var texts []string
+		for _, tk := range toks[:len(toks)-1] {
+			texts = append(texts, tk.Text)
+		}
+		src2 := strings.Join(texts, " ")
+		toks2, errs2 := scan(t, src2)
+		if errs2.HasErrors() || len(toks2) != len(toks) {
+			return false
+		}
+		for i := range toks {
+			if toks[i].Kind != toks2[i].Kind || toks[i].Text != toks2[i].Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildAssignment constructs an n x n assignment problem (the LP
+// relaxation is integral, as in the allocator's position models).
+func buildAssignment(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem()
+	cols := make([][]int, n)
+	for i := 0; i < n; i++ {
+		cols[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			cols[i][j] = p.AddCol(float64(rng.Intn(100)), 0, 1)
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		p.AddRow(1, 1, cols[i], ones)
+	}
+	for j := 0; j < n; j++ {
+		col := make([]int, n)
+		for i := 0; i < n; i++ {
+			col[i] = cols[i][j]
+		}
+		p.AddRow(1, 1, col, ones)
+	}
+	return p
+}
+
+func BenchmarkSimplexAssignment40(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := buildAssignment(40, int64(i))
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}
+
+// BenchmarkSimplexChain solves the long equality chain used in the
+// unit tests, scaled up — a proxy for the flow-conservation structure
+// of the allocator's Move rows.
+func BenchmarkSimplexChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const N = 2000
+		p := NewProblem()
+		cols := make([]int, N)
+		for j := range cols {
+			cols[j] = p.AddCol(1, 0, 2)
+		}
+		for j := 0; j+1 < N; j++ {
+			p.AddRow(2, 2, []int{cols[j], cols[j+1]}, []float64{1, 1})
+		}
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+		if math.Abs(sol.Obj-N) > 2 {
+			b.Fatalf("obj %v", sol.Obj)
+		}
+	}
+}

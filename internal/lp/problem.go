@@ -1,0 +1,189 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// primal simplex over sparse columns with a product-form-of-the-inverse
+// basis representation. It is the substrate under the branch-and-bound
+// MIP solver that stands in for CPLEX in this reproduction.
+//
+// Problems are stated as
+//
+//	minimize    c'x
+//	subject to  rowLo <= Ax <= rowHi,   lo <= x <= hi
+//
+// Internally every row gets a logical (slack) variable s with bounds
+// [rowLo, rowHi] and the equation a'x - s = 0, giving the computational
+// form  [A | -I] (x, s) = 0  whose slack basis is always nonsingular.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the bound value for unbounded directions.
+var Inf = math.Inf(1)
+
+// Nz is one nonzero coefficient.
+type Nz struct {
+	Row int
+	Val float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	cols  [][]Nz
+	obj   []float64
+	lo    []float64
+	hi    []float64
+	rowLo []float64
+	rowHi []float64
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumCols returns the number of structural variables.
+func (p *Problem) NumCols() int { return len(p.cols) }
+
+// NumRows returns the number of constraints.
+func (p *Problem) NumRows() int { return len(p.rowLo) }
+
+// NumNonzeros returns the number of structural matrix coefficients.
+func (p *Problem) NumNonzeros() int {
+	n := 0
+	for _, c := range p.cols {
+		n += len(c)
+	}
+	return n
+}
+
+// AddCol adds a variable with the given objective coefficient and
+// bounds, returning its index.
+func (p *Problem) AddCol(obj, lo, hi float64) int {
+	p.cols = append(p.cols, nil)
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	return len(p.cols) - 1
+}
+
+// AddRow adds a constraint lo <= sum coefs <= hi, returning its index.
+// Use equal bounds for an equation.
+func (p *Problem) AddRow(lo, hi float64, cols []int, vals []float64) int {
+	r := len(p.rowLo)
+	p.rowLo = append(p.rowLo, lo)
+	p.rowHi = append(p.rowHi, hi)
+	for i, c := range cols {
+		if vals[i] != 0 {
+			p.cols[c] = append(p.cols[c], Nz{Row: r, Val: vals[i]})
+		}
+	}
+	return r
+}
+
+// SetObj changes a variable's objective coefficient.
+func (p *Problem) SetObj(col int, obj float64) { p.obj[col] = obj }
+
+// SetBounds changes a variable's bounds.
+func (p *Problem) SetBounds(col int, lo, hi float64) {
+	p.lo[col] = lo
+	p.hi[col] = hi
+}
+
+// Bounds returns a variable's bounds.
+func (p *Problem) Bounds(col int) (lo, hi float64) { return p.lo[col], p.hi[col] }
+
+// Obj returns a variable's objective coefficient.
+func (p *Problem) Obj(col int) float64 { return p.obj[col] }
+
+// Col returns the nonzeros of a column. The slice is shared; callers
+// must not mutate it.
+func (p *Problem) Col(col int) []Nz { return p.cols[col] }
+
+// RowBounds returns a constraint's range.
+func (p *Problem) RowBounds(row int) (lo, hi float64) { return p.rowLo[row], p.rowHi[row] }
+
+// ObjTerms returns the number of nonzero objective coefficients — one
+// of the model statistics Figure 7 reports.
+func (p *Problem) ObjTerms() int {
+	n := 0
+	for _, c := range p.obj {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	X      []float64 // structural variable values
+	Obj    float64
+	Iters  int
+}
+
+// Solve runs two-phase primal simplex. A nil opts uses defaults.
+func (p *Problem) Solve(opts *Options) (*Solution, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	opts.fill(p)
+	s := newSimplex(p, opts)
+	return s.solve()
+}
+
+// Options tunes the solver.
+type Options struct {
+	MaxIters    int     // 0 means automatic (scaled with problem size)
+	Tol         float64 // feasibility/optimality tolerance (default 1e-7)
+	RefactorGap int     // eta count between refactorizations (default 128)
+}
+
+func (o *Options) fill(p *Problem) {
+	if o.MaxIters == 0 {
+		o.MaxIters = 20000 + 40*(p.NumRows()+p.NumCols())
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.RefactorGap == 0 {
+		o.RefactorGap = 128
+	}
+}
+
+func (p *Problem) check() error {
+	for j := range p.cols {
+		if p.lo[j] > p.hi[j] {
+			return fmt.Errorf("lp: column %d has lo > hi", j)
+		}
+	}
+	for r := range p.rowLo {
+		if p.rowLo[r] > p.rowHi[r] {
+			return fmt.Errorf("lp: row %d has lo > hi", r)
+		}
+	}
+	return nil
+}

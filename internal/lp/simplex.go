@@ -1,0 +1,588 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Variable states. Structural variables are 0..n-1; the slack of row r
+// is variable n+r with bounds [rowLo, rowHi] and column -e_r.
+type varState int8
+
+const (
+	stBasic varState = iota
+	stLower
+	stUpper
+	stZero // nonbasic free variable held at zero
+)
+
+// eta is one product-form update: the basis changed by pivoting the
+// column with (pre-pivot) Ftran image v at row r. The pivot value
+// v[r] is stored separately; idx/val hold only the off-pivot entries.
+type eta struct {
+	r   int
+	piv float64
+	idx []int32
+	val []float64
+}
+
+type simplex struct {
+	p    *Problem
+	opts *Options
+	m, n int // rows, structural columns
+
+	state []varState
+	basis []int     // basis[r] = variable occupying row slot r
+	inRow []int     // inRow[var] = row slot, or -1
+	xB    []float64 // value of basis[r]
+	etas  []eta
+
+	// scratch. w is a sparse accumulator: wTouch lists the indices
+	// that may be nonzero and wIn marks membership, so hot loops never
+	// scan all m rows.
+	w        []float64 // ftran work (dense storage)
+	wTouch   []int
+	wIn      []bool
+	y        []float64 // btran work
+	iter     int
+	baseEtas int // eta count right after the last refactorization
+	// degeneracy handling
+	degenerate int
+	bland      bool
+}
+
+func newSimplex(p *Problem, opts *Options) *simplex {
+	m, n := p.NumRows(), p.NumCols()
+	s := &simplex{
+		p: p, opts: opts, m: m, n: n,
+		state: make([]varState, n+m),
+		basis: make([]int, m),
+		inRow: make([]int, n+m),
+		xB:    make([]float64, m),
+		w:     make([]float64, m),
+		wIn:   make([]bool, m),
+		y:     make([]float64, m),
+	}
+	return s
+}
+
+// clearW resets the sparse accumulator.
+func (s *simplex) clearW() {
+	for _, i := range s.wTouch {
+		s.w[i] = 0
+		s.wIn[i] = false
+	}
+	s.wTouch = s.wTouch[:0]
+}
+
+// touchW adds index i to the accumulator's support.
+func (s *simplex) touchW(i int) {
+	if !s.wIn[i] {
+		s.wIn[i] = true
+		s.wTouch = append(s.wTouch, i)
+	}
+}
+
+// scatterColumn loads variable j's column into the accumulator.
+func (s *simplex) scatterColumn(j int) {
+	s.column(j, func(row int, val float64) {
+		s.w[row] = val
+		s.touchW(row)
+	})
+}
+
+// ftranW solves B z = w in place on the sparse accumulator.
+func (s *simplex) ftranW() {
+	for k := range s.etas {
+		e := &s.etas[k]
+		wr := s.w[e.r]
+		if wr == 0 {
+			continue
+		}
+		zr := wr / e.piv
+		s.w[e.r] = zr
+		for i, ix := range e.idx {
+			if !s.wIn[ix] {
+				s.wIn[ix] = true
+				s.wTouch = append(s.wTouch, int(ix))
+			}
+			s.w[ix] -= e.val[i] * zr
+		}
+	}
+}
+
+// pushEtaW records the accumulator as an eta with pivot row r.
+func (s *simplex) pushEtaW(r int) {
+	var idx []int32
+	var val []float64
+	piv := s.w[r]
+	for _, i := range s.wTouch {
+		if i == r {
+			continue
+		}
+		if v := s.w[i]; v > 1e-12 || v < -1e-12 {
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		}
+	}
+	s.etas = append(s.etas, eta{r: r, piv: piv, idx: idx, val: val})
+}
+
+// lob/hib return the bounds of any variable (structural or slack).
+func (s *simplex) lob(j int) float64 {
+	if j < s.n {
+		return s.p.lo[j]
+	}
+	return s.p.rowLo[j-s.n]
+}
+
+func (s *simplex) hib(j int) float64 {
+	if j < s.n {
+		return s.p.hi[j]
+	}
+	return s.p.rowHi[j-s.n]
+}
+
+// column visits the nonzeros of any variable's column.
+func (s *simplex) column(j int, f func(row int, val float64)) {
+	if j < s.n {
+		for _, nz := range s.p.cols[j] {
+			f(nz.Row, nz.Val)
+		}
+		return
+	}
+	f(j-s.n, -1)
+}
+
+// nonbasicValue returns the value a nonbasic variable is held at.
+func (s *simplex) nonbasicValue(j int) float64 {
+	switch s.state[j] {
+	case stLower:
+		return s.lob(j)
+	case stUpper:
+		return s.hib(j)
+	}
+	return 0
+}
+
+// value returns the current value of any variable.
+func (s *simplex) value(j int) float64 {
+	if s.state[j] == stBasic {
+		return s.xB[s.inRow[j]]
+	}
+	return s.nonbasicValue(j)
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	if err := s.p.check(); err != nil {
+		return &Solution{Status: Infeasible}, err
+	}
+	// Start from the all-slack basis with structural variables at the
+	// finite bound nearest zero.
+	for j := 0; j < s.n; j++ {
+		lo, hi := s.lob(j), s.hib(j)
+		switch {
+		case lo > math.Inf(-1) && (math.Abs(lo) <= math.Abs(hi) || hi == Inf):
+			s.state[j] = stLower
+		case hi < Inf:
+			s.state[j] = stUpper
+		default:
+			s.state[j] = stZero
+		}
+		s.inRow[j] = -1
+	}
+	for r := 0; r < s.m; r++ {
+		j := s.n + r
+		s.state[j] = stBasic
+		s.basis[r] = j
+		s.inRow[j] = r
+	}
+	s.refactor()
+
+	// Phase 1: drive out infeasibility.
+	if s.infeasibility() > s.opts.Tol {
+		st := s.run(true)
+		if st == Unbounded {
+			// The phase-1 objective is bounded below by zero; an
+			// unlimited ray here only means numerics gave up.
+			st = Infeasible
+		}
+		if st != Optimal {
+			return &Solution{Status: st, Iters: s.iter}, nil
+		}
+		if s.infeasibility() > 1e-5 {
+			return &Solution{Status: Infeasible, Iters: s.iter}, nil
+		}
+	}
+	// Phase 2: optimize.
+	st := s.run(false)
+	sol := &Solution{Status: st, Iters: s.iter, X: make([]float64, s.n)}
+	for j := 0; j < s.n; j++ {
+		sol.X[j] = s.value(j)
+	}
+	for j := 0; j < s.n; j++ {
+		sol.Obj += s.p.obj[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// infeasibility returns the total bound violation of basic variables.
+func (s *simplex) infeasibility() float64 {
+	sum := 0.0
+	for r := 0; r < s.m; r++ {
+		j := s.basis[r]
+		x := s.xB[r]
+		if lo := s.lob(j); x < lo {
+			sum += lo - x
+		} else if hi := s.hib(j); x > hi {
+			sum += x - hi
+		}
+	}
+	return sum
+}
+
+// costOf returns the effective cost of a variable in the current phase.
+func (s *simplex) costOf(j int, phase1 bool) float64 {
+	if phase1 {
+		if s.state[j] != stBasic {
+			return 0
+		}
+		x := s.xB[s.inRow[j]]
+		if x < s.lob(j)-s.opts.Tol {
+			return -1
+		}
+		if x > s.hib(j)+s.opts.Tol {
+			return 1
+		}
+		return 0
+	}
+	if j < s.n {
+		return s.p.obj[j]
+	}
+	return 0
+}
+
+// run iterates the primal simplex until optimality for the phase.
+func (s *simplex) run(phase1 bool) Status {
+	tol := s.opts.Tol
+	for ; s.iter < s.opts.MaxIters; s.iter++ {
+		if phase1 && s.infeasibility() <= tol {
+			return Optimal
+		}
+		// y = Btran(cB)
+		for r := 0; r < s.m; r++ {
+			s.y[r] = s.costOf(s.basis[r], phase1)
+		}
+		s.btran(s.y)
+		// Price nonbasics.
+		enter := -1
+		var enterDir float64
+		best := tol
+		for j := 0; j < s.n+s.m; j++ {
+			if s.state[j] == stBasic {
+				continue
+			}
+			d := s.costOf(j, phase1)
+			s.column(j, func(row int, val float64) {
+				d -= s.y[row] * val
+			})
+			var score float64
+			var dir float64
+			switch s.state[j] {
+			case stLower:
+				if d < -tol {
+					score, dir = -d, 1
+				}
+			case stUpper:
+				if d > tol {
+					score, dir = d, -1
+				}
+			case stZero:
+				if d < -tol {
+					score, dir = -d, 1
+				} else if d > tol {
+					score, dir = d, -1
+				}
+			}
+			if score > best {
+				best, enter, enterDir = score, j, dir
+				if s.bland {
+					break // Bland: first eligible index
+				}
+			}
+		}
+		if enter < 0 {
+			if phase1 && s.infeasibility() > tol {
+				return Infeasible
+			}
+			return Optimal
+		}
+		// w = Ftran(column of entering variable)
+		s.clearW()
+		s.scatterColumn(enter)
+		s.ftranW()
+
+		// Ratio test.
+		limit := s.hib(enter) - s.lob(enter) // bound-to-bound flip distance
+		if s.state[enter] == stZero {
+			limit = Inf
+		}
+		leave := -1
+		leaveToUpper := false
+		bestPiv := 0.0
+		for _, r := range s.wTouch {
+			wr := s.w[r]
+			if math.Abs(wr) < 1e-9 {
+				continue
+			}
+			j := s.basis[r]
+			x := s.xB[r]
+			lo, hi := s.lob(j), s.hib(j)
+			// Basic j moves at rate -wr*enterDir per unit of entering.
+			rate := -wr * enterDir
+			var room float64
+			var toUpper bool
+			if phase1 {
+				// Infeasible basics move to their violated bound;
+				// feasible basics stay within their bounds.
+				switch {
+				case x < lo-tol:
+					if rate > 0 {
+						room, toUpper = (lo-x)/rate, false
+					} else {
+						continue // moving further away is allowed in composite phase 1? stop it: block
+					}
+				case x > hi+tol:
+					if rate < 0 {
+						room, toUpper = (hi-x)/rate, true
+					} else {
+						continue
+					}
+				default:
+					if rate > 0 {
+						if hi == Inf {
+							continue
+						}
+						room, toUpper = (hi-x)/rate, true
+					} else {
+						if lo == math.Inf(-1) {
+							continue
+						}
+						room, toUpper = (lo-x)/rate, false
+					}
+				}
+			} else {
+				if rate > 0 {
+					if hi == Inf {
+						continue
+					}
+					room, toUpper = (hi-x)/rate, true
+				} else {
+					if lo == math.Inf(-1) {
+						continue
+					}
+					room, toUpper = (lo-x)/rate, false
+				}
+			}
+			if room < 0 {
+				room = 0
+			}
+			if room < limit-1e-12 || (room < limit+1e-12 && math.Abs(wr) > bestPiv) {
+				limit = room
+				leave = r
+				leaveToUpper = toUpper
+				bestPiv = math.Abs(wr)
+			}
+		}
+		if limit == Inf {
+			return Unbounded
+		}
+		if limit <= 1e-11 {
+			s.degenerate++
+			if s.degenerate > 1000 {
+				s.bland = true
+			}
+		} else {
+			s.degenerate = 0
+		}
+		step := enterDir * limit
+		// Update basic values.
+		for _, r := range s.wTouch {
+			if s.w[r] != 0 {
+				s.xB[r] -= s.w[r] * step
+			}
+		}
+		if leave < 0 {
+			// Bound flip of the entering variable.
+			if s.state[enter] == stLower {
+				s.state[enter] = stUpper
+			} else {
+				s.state[enter] = stLower
+			}
+			continue
+		}
+		// Pivot.
+		leaving := s.basis[leave]
+		if leaveToUpper {
+			s.state[leaving] = stUpper
+		} else {
+			s.state[leaving] = stLower
+		}
+		if s.hib(leaving) == Inf && s.lob(leaving) == math.Inf(-1) {
+			s.state[leaving] = stZero
+		}
+		s.inRow[leaving] = -1
+		enterVal := s.nonbasicValue(enter) + step
+		s.basis[leave] = enter
+		s.inRow[enter] = leave
+		s.state[enter] = stBasic
+		s.pushEtaW(leave)
+		s.xB[leave] = enterVal
+		if len(s.etas)-s.baseEtas >= s.opts.RefactorGap {
+			s.refactor()
+		}
+	}
+	return IterLimit
+}
+
+// pushEta records the current w (the Ftran image of the entering
+// column) as an eta with pivot row r.
+func (s *simplex) pushEta(r int) {
+	var idx []int32
+	var val []float64
+	for i, v := range s.w {
+		if math.Abs(v) > 1e-12 {
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		}
+	}
+	s.etas = append(s.etas, eta{r: r, idx: idx, val: val})
+}
+
+// ftran solves B z = w in place (w dense).
+func (s *simplex) ftran(w []float64) {
+	for k := range s.etas {
+		e := &s.etas[k]
+		wr := w[e.r]
+		if wr == 0 {
+			continue
+		}
+		zr := wr / e.piv
+		w[e.r] = zr
+		for i, ix := range e.idx {
+			w[ix] -= e.val[i] * zr
+		}
+	}
+}
+
+// btran solves B' z = y in place (y dense).
+func (s *simplex) btran(y []float64) {
+	for k := len(s.etas) - 1; k >= 0; k-- {
+		e := &s.etas[k]
+		var sum float64
+		for i, ix := range e.idx {
+			sum += e.val[i] * y[ix]
+		}
+		y[e.r] = (y[e.r] - sum) / e.piv
+	}
+}
+
+// refactor rebuilds the eta file from the current basis and recomputes
+// the basic values. Singular bases are repaired by swapping in slacks.
+func (s *simplex) refactor() {
+	s.etas = s.etas[:0]
+	// Process basis columns in order of increasing sparsity.
+	type slot struct {
+		j   int
+		nnz int
+	}
+	slots := make([]slot, 0, s.m)
+	for r := 0; r < s.m; r++ {
+		j := s.basis[r]
+		nnz := 1
+		if j < s.n {
+			nnz = len(s.p.cols[j])
+		}
+		slots = append(slots, slot{j: j, nnz: nnz})
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].nnz != slots[b].nnz {
+			return slots[a].nnz < slots[b].nnz
+		}
+		return slots[a].j < slots[b].j
+	})
+	pivoted := make([]bool, s.m)
+	newBasis := make([]int, s.m)
+	var failed []int
+	for _, sl := range slots {
+		s.clearW()
+		s.scatterColumn(sl.j)
+		s.ftranW()
+		// Choose the unpivoted row with the largest magnitude.
+		bestR, bestV := -1, 1e-7
+		for _, r := range s.wTouch {
+			if !pivoted[r] && math.Abs(s.w[r]) > bestV {
+				bestR, bestV = r, math.Abs(s.w[r])
+			}
+		}
+		if bestR < 0 {
+			failed = append(failed, sl.j)
+			continue
+		}
+		pivoted[bestR] = true
+		newBasis[bestR] = sl.j
+		s.pushEtaW(bestR)
+	}
+	// Repair: failed columns leave the basis; unpivoted rows get their
+	// slack back.
+	for _, j := range failed {
+		s.state[j] = stLower
+		if s.lob(j) == math.Inf(-1) {
+			s.state[j] = stZero
+			if s.hib(j) < Inf {
+				s.state[j] = stUpper
+			}
+		}
+		s.inRow[j] = -1
+	}
+	for r := 0; r < s.m; r++ {
+		if pivoted[r] {
+			continue
+		}
+		j := s.n + r
+		if s.state[j] == stBasic && s.inRow[j] != r {
+			// The slack is basic elsewhere — cannot happen: its column
+			// only covers row r, so it can only have pivoted row r.
+			panic("lp: refactor repair conflict")
+		}
+		newBasis[r] = j
+		s.state[j] = stBasic
+		s.inRow[j] = r
+		s.clearW()
+		s.w[r] = -1
+		s.touchW(r)
+		s.ftranW()
+		s.pushEtaW(r)
+		pivoted[r] = true
+	}
+	s.basis = newBasis
+	for r := 0; r < s.m; r++ {
+		s.inRow[s.basis[r]] = r
+		s.state[s.basis[r]] = stBasic
+	}
+	// Recompute basic values: x_B = Ftran(-(N x_N)).
+	rhs := make([]float64, s.m)
+	for j := 0; j < s.n+s.m; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		s.column(j, func(row int, val float64) { rhs[row] -= val * v })
+	}
+	s.ftran(rhs)
+	copy(s.xB, rhs)
+	s.baseEtas = len(s.etas)
+}

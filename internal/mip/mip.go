@@ -1,0 +1,321 @@
+// Package mip implements a 0-1 / integer branch-and-bound solver on top
+// of the lp package — the stand-in for CPLEX (§5, §11 of the paper).
+// The paper solves its models to within 0.01% of optimal; that is this
+// solver's default relative gap as well.
+package mip
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Options tunes the search.
+type Options struct {
+	Gap      float64       // relative optimality gap; default 1e-4 (0.01%)
+	MaxNodes int           // node budget; default 200000
+	Time     time.Duration // wall-clock budget; default 5 minutes
+	LP       *lp.Options   // per-node LP options
+
+	// ObjOffset is a constant added to the objective for gap purposes
+	// only: callers that moved fixed costs out of the LP pass it so the
+	// relative gap is measured against the true total.
+	ObjOffset float64
+
+	// Priority orders branching: among fractional integer columns,
+	// those with the highest priority value are branched first. Nil
+	// means uniform.
+	Priority []int
+
+	// Heuristic, when set, is called at every node whose LP solution
+	// still has fractional integer columns. It may return a feasible
+	// completion of x (a full assignment); the solver verifies
+	// feasibility and uses it as an incumbent. This hook lets domain
+	// code finish symmetric subproblems (e.g. register colors)
+	// combinatorially.
+	Heuristic func(x []float64) ([]float64, bool)
+}
+
+func (o *Options) fill() {
+	if o.Gap == 0 {
+		o.Gap = 1e-4
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.Time == 0 {
+		o.Time = 5 * time.Minute
+	}
+}
+
+// Status of the MIP solve.
+type Status int
+
+// Statuses.
+const (
+	Optimal Status = iota // incumbent proven within gap
+	Infeasible
+	NodeLimit // best incumbent returned, gap not proven
+	TimeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return "time-limit"
+	}
+}
+
+// Result reports the solve outcome together with the statistics that
+// Figure 7 of the paper tabulates (root relaxation time, total integer
+// solve time).
+type Result struct {
+	Status   Status
+	X        []float64
+	Obj      float64
+	RootObj  float64
+	RootTime time.Duration
+	Time     time.Duration
+	Nodes    int
+	LPIters  int
+}
+
+// Solve minimizes p with the integrality constraint applied to the
+// columns where integer[j] is true (pass nil for all-integer). The
+// problem's bounds are mutated during the search and restored before
+// returning.
+func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	opts.fill()
+	n := p.NumCols()
+	if integer == nil {
+		integer = make([]bool, n)
+		for j := range integer {
+			integer[j] = true
+		}
+	}
+	start := time.Now()
+	res := &Result{Obj: math.Inf(1)}
+
+	// Root relaxation.
+	rootStart := time.Now()
+	rootSol, err := p.Solve(opts.LP)
+	res.RootTime = time.Since(rootStart)
+	if err != nil {
+		return nil, err
+	}
+	res.LPIters += rootSol.Iters
+	switch rootSol.Status {
+	case lp.Infeasible:
+		res.Status = Infeasible
+		res.Time = time.Since(start)
+		return res, nil
+	case lp.Unbounded:
+		return nil, fmt.Errorf("mip: relaxation is unbounded")
+	case lp.IterLimit:
+		return nil, fmt.Errorf("mip: root LP hit iteration limit")
+	}
+	res.RootObj = rootSol.Obj
+
+	// Rounding heuristic for a quick incumbent.
+	if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok {
+		res.X, res.Obj = x, obj
+	}
+
+	// Depth-first branch and bound. Each stack entry owns a bound
+	// change to apply (relative to its parent) and remembers how to
+	// undo it.
+	type node struct {
+		col     int
+		lo, hi  float64 // new bounds for col
+		oldLo   float64
+		oldHi   float64
+		bound   float64 // parent LP objective (lower bound)
+		applied bool
+		depth   int
+	}
+	stack := []*node{{col: -1, bound: rootSol.Obj}}
+
+	var undo []*node // applied bound changes, for restoration
+	restoreTo := func(depth int) {
+		for len(undo) > depth {
+			nd := undo[len(undo)-1]
+			undo = undo[:len(undo)-1]
+			p.SetBounds(nd.col, nd.oldLo, nd.oldHi)
+		}
+	}
+	defer restoreTo(0)
+
+	status := Status(Optimal)
+	proven := false
+
+	for len(stack) > 0 {
+		if res.Nodes >= opts.MaxNodes {
+			status = NodeLimit
+			break
+		}
+		if time.Since(start) > opts.Time {
+			status = TimeLimit
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		restoreTo(nd.depth)
+		if nd.col >= 0 {
+			nd.oldLo, nd.oldHi = p.Bounds(nd.col)
+			p.SetBounds(nd.col, nd.lo, nd.hi)
+			undo = append(undo, nd)
+		}
+		// Bound-based pruning.
+		gapAbs := opts.Gap * math.Max(1, math.Abs(res.Obj+opts.ObjOffset))
+		if nd.bound >= res.Obj-gapAbs {
+			continue
+		}
+		res.Nodes++
+		sol, err := p.Solve(opts.LP)
+		if err != nil {
+			return nil, err
+		}
+		res.LPIters += sol.Iters
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree (or numerically hopeless)
+		}
+		if sol.Obj >= res.Obj-gapAbs {
+			continue
+		}
+		// Find the most fractional integer column, respecting branching
+		// priorities (highest priority class first).
+		branchCol, frac, branchPrio := -1, 0.0, math.MinInt
+		for j := 0; j < n; j++ {
+			if !integer[j] {
+				continue
+			}
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f <= 1e-6 {
+				continue
+			}
+			pr := 0
+			if opts.Priority != nil {
+				pr = opts.Priority[j]
+			}
+			if pr > branchPrio || (pr == branchPrio && f > frac) {
+				branchCol, frac, branchPrio = j, f, pr
+			}
+		}
+		if branchCol >= 0 && opts.Heuristic != nil {
+			if cand, ok := opts.Heuristic(sol.X); ok && Feasible(p, cand, 1e-6) {
+				obj := 0.0
+				for j := 0; j < n; j++ {
+					obj += p.Obj(j) * cand[j]
+				}
+				if obj < res.Obj {
+					res.Obj = obj
+					res.X = append([]float64(nil), cand...)
+				}
+				// The LP bound may still be below the incumbent; keep
+				// branching unless the gap is closed. The tolerance is
+				// recomputed: the incumbent may just have gone finite.
+				gapAbs = opts.Gap * math.Max(1, math.Abs(res.Obj+opts.ObjOffset))
+				if sol.Obj >= res.Obj-gapAbs {
+					continue
+				}
+			}
+		}
+		if branchCol < 0 {
+			// Integral: new incumbent.
+			res.Obj = sol.Obj
+			res.X = append([]float64(nil), sol.X...)
+			for j := range res.X {
+				if integer[j] {
+					res.X[j] = math.Round(res.X[j])
+				}
+			}
+			continue
+		}
+		x := sol.X[branchCol]
+		lo, hi := p.Bounds(branchCol)
+		down := &node{col: branchCol, lo: lo, hi: math.Floor(x), bound: sol.Obj, depth: len(undo)}
+		up := &node{col: branchCol, lo: math.Ceil(x), hi: hi, bound: sol.Obj, depth: len(undo)}
+		// Explore the nearer side first (pushed last).
+		if x-math.Floor(x) < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+	if len(stack) == 0 {
+		proven = true
+	}
+	restoreTo(0)
+	res.Time = time.Since(start)
+	if math.IsInf(res.Obj, 1) {
+		if proven {
+			res.Status = Infeasible
+		} else {
+			res.Status = status
+		}
+		return res, nil
+	}
+	if proven {
+		res.Status = Optimal
+	} else {
+		res.Status = status
+	}
+	return res, nil
+}
+
+// roundFeasible rounds the integer components of x and checks the
+// result against the rows; it returns the candidate when feasible.
+func roundFeasible(p *lp.Problem, integer []bool, x []float64) ([]float64, float64, bool) {
+	n := p.NumCols()
+	cand := append([]float64(nil), x...)
+	for j := 0; j < n; j++ {
+		if integer[j] {
+			cand[j] = math.Round(cand[j])
+			lo, hi := p.Bounds(j)
+			if cand[j] < lo || cand[j] > hi {
+				return nil, 0, false
+			}
+		}
+	}
+	if !Feasible(p, cand, 1e-6) {
+		return nil, 0, false
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Obj(j) * cand[j]
+	}
+	return cand, obj, true
+}
+
+// Feasible checks a point against all rows and bounds of p.
+func Feasible(p *lp.Problem, x []float64, tol float64) bool {
+	n := p.NumCols()
+	act := make([]float64, p.NumRows())
+	for j := 0; j < n; j++ {
+		lo, hi := p.Bounds(j)
+		if x[j] < lo-tol || x[j] > hi+tol {
+			return false
+		}
+		for _, nz := range p.Col(j) {
+			act[nz.Row] += nz.Val * x[j]
+		}
+	}
+	for r := 0; r < p.NumRows(); r++ {
+		lo, hi := p.RowBounds(r)
+		if act[r] < lo-tol || act[r] > hi+tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package mir
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/cps"
+	"repro/internal/types"
+)
+
+// Eval executes the MIR program against the reference machine model —
+// the same cps.Machine the CPS evaluator uses, enabling differential
+// tests across every lowering stage.
+func (p *Program) Eval(m *cps.Machine, args []uint32, maxSteps int) ([]uint32, error) {
+	if len(p.Blocks) == 0 {
+		return nil, fmt.Errorf("mir eval: empty program")
+	}
+	env := make([]uint32, p.NumTemps())
+	bound := make([]bool, p.NumTemps())
+	entry := p.Blocks[0]
+	if len(args) != len(entry.Params) {
+		return nil, fmt.Errorf("mir eval: entry takes %d args, got %d", len(entry.Params), len(args))
+	}
+	for i, t := range entry.Params {
+		env[t] = args[i]
+		bound[t] = true
+	}
+	val := func(o Operand) (uint32, error) {
+		if o.IsImm {
+			return o.Imm, nil
+		}
+		if !bound[o.Temp] {
+			return 0, fmt.Errorf("mir eval: unbound %s", p.TempName(o.Temp))
+		}
+		return env[o.Temp], nil
+	}
+	def := func(t Temp, v uint32) {
+		env[t] = v
+		bound[t] = true
+	}
+	b := entry
+	steps := 0
+	for {
+		for i := range b.Instrs {
+			steps++
+			if steps > maxSteps {
+				return nil, fmt.Errorf("mir eval: step budget exhausted")
+			}
+			in := &b.Instrs[i]
+			switch in.Kind {
+			case KALU:
+				l, err := val(in.Srcs[0])
+				if err != nil {
+					return nil, err
+				}
+				r, err := val(in.Srcs[1])
+				if err != nil {
+					return nil, err
+				}
+				v, ok := types.EvalBinop(in.Op, l, r)
+				if !ok {
+					return nil, fmt.Errorf("mir eval: bad alu %v %d %d", in.Op, l, r)
+				}
+				def(in.Dsts[0], v)
+			case KImm:
+				def(in.Dsts[0], in.Val)
+			case KMemRead:
+				a, err := val(in.Srcs[0])
+				if err != nil {
+					return nil, err
+				}
+				mem, err := memFor(m, in.Space)
+				if err != nil {
+					return nil, err
+				}
+				if in.Space == cps.SpaceSDRAM && a%2 != 0 {
+					return nil, fmt.Errorf("mir eval: unaligned sdram read at %d", a)
+				}
+				for k, d := range in.Dsts {
+					idx := int(a) + k
+					if idx >= len(mem) {
+						return nil, fmt.Errorf("mir eval: %v read at %d out of range", in.Space, idx)
+					}
+					def(d, mem[idx])
+				}
+				m.Reads++
+			case KMemWrite:
+				a, err := val(in.Srcs[0])
+				if err != nil {
+					return nil, err
+				}
+				if in.Space == cps.SpaceTFIFO {
+					for _, s := range in.Srcs[1:] {
+						v, err := val(s)
+						if err != nil {
+							return nil, err
+						}
+						m.TFIFO = append(m.TFIFO, v)
+					}
+					m.Writes++
+					continue
+				}
+				mem, err := memFor(m, in.Space)
+				if err != nil {
+					return nil, err
+				}
+				if in.Space == cps.SpaceSDRAM && a%2 != 0 {
+					return nil, fmt.Errorf("mir eval: unaligned sdram write at %d", a)
+				}
+				for k, s := range in.Srcs[1:] {
+					v, err := val(s)
+					if err != nil {
+						return nil, err
+					}
+					idx := int(a) + k
+					if idx >= len(mem) {
+						return nil, fmt.Errorf("mir eval: %v write at %d out of range", in.Space, idx)
+					}
+					mem[idx] = v
+				}
+				m.Writes++
+			case KSpecial:
+				switch in.Special {
+				case cps.SpecHash:
+					x, err := val(in.Srcs[0])
+					if err != nil {
+						return nil, err
+					}
+					def(in.Dsts[0], m.Hash(x))
+				case cps.SpecBTS:
+					a, err := val(in.Srcs[0])
+					if err != nil {
+						return nil, err
+					}
+					s, err := val(in.Srcs[1])
+					if err != nil {
+						return nil, err
+					}
+					old := m.SRAM[a]
+					m.SRAM[a] = old | s
+					def(in.Dsts[0], old)
+				case cps.SpecCSRRead:
+					a, err := val(in.Srcs[0])
+					if err != nil {
+						return nil, err
+					}
+					def(in.Dsts[0], m.CSR[a])
+				case cps.SpecCSRWrite:
+					a, err := val(in.Srcs[0])
+					if err != nil {
+						return nil, err
+					}
+					v, err := val(in.Srcs[1])
+					if err != nil {
+						return nil, err
+					}
+					m.CSR[a] = v
+				case cps.SpecCtxSwap:
+					// No effect in the reference semantics.
+				}
+			case KClone, KMove:
+				v, err := val(in.Srcs[0])
+				if err != nil {
+					return nil, err
+				}
+				def(in.Dsts[0], v)
+			}
+		}
+		steps++
+		if steps > maxSteps {
+			return nil, fmt.Errorf("mir eval: step budget exhausted")
+		}
+		var edge *Edge
+		switch t := b.Term.(type) {
+		case *Jump:
+			edge = &t.Edge
+		case *Branch:
+			l, err := val(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := val(t.R)
+			if err != nil {
+				return nil, err
+			}
+			if cmp(t.Cmp, l, r) {
+				edge = &t.Then
+			} else {
+				edge = &t.Else
+			}
+		case *Halt:
+			out := make([]uint32, len(t.Results))
+			for i, r := range t.Results {
+				v, err := val(r)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("mir eval: missing terminator in b%d", b.ID)
+		}
+		target := p.Blocks[edge.To]
+		if len(edge.Args) != len(target.Params) {
+			return nil, fmt.Errorf("mir eval: edge to b%d passes %d args, wants %d",
+				target.ID, len(edge.Args), len(target.Params))
+		}
+		vals := make([]uint32, len(edge.Args))
+		for i, a := range edge.Args {
+			v, err := val(a)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		for i, pt := range target.Params {
+			def(pt, vals[i])
+		}
+		b = target
+	}
+}
+
+func memFor(m *cps.Machine, s cps.Space) ([]uint32, error) {
+	switch s {
+	case cps.SpaceSRAM:
+		return m.SRAM, nil
+	case cps.SpaceSDRAM:
+		return m.SDRAM, nil
+	case cps.SpaceScratch:
+		return m.Scratch, nil
+	case cps.SpaceRFIFO:
+		return m.RFIFO, nil
+	}
+	return nil, fmt.Errorf("mir eval: bad space %v", s)
+}
+
+func cmp(op ast.BinOp, l, r uint32) bool {
+	switch op {
+	case ast.OpEq:
+		return l == r
+	case ast.OpNe:
+		return l != r
+	case ast.OpLt:
+		return l < r
+	case ast.OpGt:
+		return l > r
+	case ast.OpLe:
+		return l <= r
+	case ast.OpGe:
+		return l >= r
+	}
+	return false
+}

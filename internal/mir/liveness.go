@@ -1,0 +1,126 @@
+package mir
+
+// Liveness holds per-block live-in/live-out temp sets, computed by the
+// usual backward dataflow over the flowgraph. Block parameters are the
+// only merge-point definitions (SSA block-argument form), so liveness
+// never needs phi special-casing.
+type Liveness struct {
+	In  []map[Temp]bool // indexed by BlockID
+	Out []map[Temp]bool
+}
+
+// ComputeLiveness runs the fixpoint.
+func ComputeLiveness(p *Program) *Liveness {
+	n := len(p.Blocks)
+	lv := &Liveness{In: make([]map[Temp]bool, n), Out: make([]map[Temp]bool, n)}
+	for i := range p.Blocks {
+		lv.In[i] = map[Temp]bool{}
+		lv.Out[i] = map[Temp]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := p.Blocks[i]
+			out := map[Temp]bool{}
+			for _, e := range b.Succs() {
+				// (In(succ) \ params(succ)) ∪ edge args, per edge.
+				params := map[Temp]bool{}
+				for _, pt := range p.Blocks[e.To].Params {
+					params[pt] = true
+				}
+				for t := range lv.In[e.To] {
+					if !params[t] {
+						out[t] = true
+					}
+				}
+				for _, a := range e.Args {
+					if !a.IsImm {
+						out[a.Temp] = true
+					}
+				}
+			}
+			in := copySet(out)
+			for _, o := range b.TermUses() {
+				if !o.IsImm {
+					in[o.Temp] = true
+				}
+			}
+			for k := len(b.Instrs) - 1; k >= 0; k-- {
+				instr := &b.Instrs[k]
+				for _, d := range instr.Dsts {
+					delete(in, d)
+				}
+				for _, u := range instr.Uses() {
+					in[u] = true
+				}
+			}
+			for _, pt := range b.Params {
+				delete(in, pt)
+			}
+			if !sameSet(in, lv.In[i]) || !sameSet(out, lv.Out[i]) {
+				changed = true
+				lv.In[i], lv.Out[i] = in, out
+			}
+		}
+	}
+	return lv
+}
+
+// LiveBefore returns the set of temps live immediately before
+// instruction index k of block b (k == len(instrs) means before the
+// terminator). The block's own params count as defined at entry.
+func (lv *Liveness) LiveBefore(p *Program, b *Block, k int) map[Temp]bool {
+	live := copySet(lv.Out[b.ID])
+	for _, o := range b.TermUses() {
+		if !o.IsImm {
+			live[o.Temp] = true
+		}
+	}
+	// Walk backward from the end to position k.
+	for i := len(b.Instrs) - 1; i >= k; i-- {
+		instr := &b.Instrs[i]
+		for _, d := range instr.Dsts {
+			delete(live, d)
+		}
+		for _, u := range instr.Uses() {
+			live[u] = true
+		}
+	}
+	return live
+}
+
+func copySet(s map[Temp]bool) map[Temp]bool {
+	out := make(map[Temp]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[Temp]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPressure returns the maximum number of simultaneously live temps
+// at any instruction boundary — a quick sanity metric for tests.
+func MaxPressure(p *Program) int {
+	lv := ComputeLiveness(p)
+	max := 0
+	for _, b := range p.Blocks {
+		for k := 0; k <= len(b.Instrs); k++ {
+			if n := len(lv.LiveBefore(p, b, k)); n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}

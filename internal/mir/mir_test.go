@@ -1,0 +1,143 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// buildDiamond constructs a small flowgraph by hand:
+//
+//	b0: x = imm; y = imm; br x<y -> b1 | b2
+//	b1: z1 = x+y; jmp b3(z1)
+//	b2: z2 = x-y; jmp b3(z2)
+//	b3(p): halt(p)
+func buildDiamond() (*Program, Temp, Temp) {
+	p := &Program{}
+	x := p.NewTemp("x")
+	y := p.NewTemp("y")
+	z1 := p.NewTemp("z1")
+	z2 := p.NewTemp("z2")
+	phi := p.NewTemp("phi")
+
+	b0 := p.NewBlock("entry")
+	b1 := p.NewBlock("then")
+	b2 := p.NewBlock("else")
+	b3 := p.NewBlock("join")
+
+	b0.Instrs = []Instr{
+		{Kind: KImm, Val: 1, Dsts: []Temp{x}},
+		{Kind: KImm, Val: 2, Dsts: []Temp{y}},
+	}
+	b0.Term = &Branch{Cmp: ast.OpLt, L: T(x), R: T(y),
+		Then: Edge{To: b1.ID}, Else: Edge{To: b2.ID}}
+	b1.Instrs = []Instr{{Kind: KALU, Op: ast.OpAdd, Dsts: []Temp{z1}, Srcs: []Operand{T(x), T(y)}}}
+	b1.Term = &Jump{Edge: Edge{To: b3.ID, Args: []Operand{T(z1)}}}
+	b2.Instrs = []Instr{{Kind: KALU, Op: ast.OpSub, Dsts: []Temp{z2}, Srcs: []Operand{T(x), T(y)}}}
+	b2.Term = &Jump{Edge: Edge{To: b3.ID, Args: []Operand{T(z2)}}}
+	b3.Params = []Temp{phi}
+	b3.Term = &Halt{Results: []Operand{T(phi)}}
+	return p, x, y
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	p, x, y := buildDiamond()
+	lv := ComputeLiveness(p)
+	// x and y live out of the entry block (used in both arms).
+	if !lv.Out[0][x] || !lv.Out[0][y] {
+		t.Fatalf("entry live-out = %v", lv.Out[0])
+	}
+	// Nothing live into the entry.
+	if len(lv.In[0]) != 0 {
+		t.Fatalf("entry live-in = %v", lv.In[0])
+	}
+	// The join's parameter is not live into the join (it is defined
+	// there); nothing else is live-in either.
+	if len(lv.In[3]) != 0 {
+		t.Fatalf("join live-in = %v", lv.In[3])
+	}
+}
+
+// TestLivenessUsesAreLive: for every instruction, its uses are in the
+// live set immediately before it.
+func TestLivenessUsesAreLive(t *testing.T) {
+	p, _, _ := buildDiamond()
+	lv := ComputeLiveness(p)
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			live := lv.LiveBefore(p, b, k)
+			for _, u := range b.Instrs[k].Uses() {
+				if !live[u] {
+					t.Errorf("b%d/%d: use %s not live", b.ID, k, p.TempName(u))
+				}
+			}
+		}
+		live := lv.LiveBefore(p, b, len(b.Instrs))
+		for _, o := range b.TermUses() {
+			if !o.IsImm && !live[o.Temp] {
+				t.Errorf("b%d terminator: use %s not live", b.ID, p.TempName(o.Temp))
+			}
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, _, _ := buildDiamond()
+	s := p.String()
+	for _, frag := range []string{"b0 entry", "b3 join(phi)", "halt(phi)", "if x", "goto b3(z1)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+	if NumInstrs := p.NumInstrs(); NumInstrs != 5 { // 4 instrs + branch
+		t.Errorf("NumInstrs = %d, want 5", NumInstrs)
+	}
+}
+
+func TestMaxPressureDiamond(t *testing.T) {
+	p, _, _ := buildDiamond()
+	if pr := MaxPressure(p); pr != 2 {
+		t.Errorf("max pressure = %d, want 2 (x and y)", pr)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// b0: i0 = imm; jmp b1(i0)
+	// b1(i): br i<n? -> b2 | b3  (n is a free temp living forever)
+	// b2: i2 = i+1; jmp b1(i2)
+	// b3: halt(i)
+	p := &Program{}
+	n := p.NewTemp("n")
+	i0 := p.NewTemp("i0")
+	i := p.NewTemp("i")
+	i2 := p.NewTemp("i2")
+
+	b0 := p.NewBlock("entry")
+	b1 := p.NewBlock("head")
+	b2 := p.NewBlock("body")
+	b3 := p.NewBlock("exit")
+	b0.Params = []Temp{n}
+	b0.Instrs = []Instr{{Kind: KImm, Val: 0, Dsts: []Temp{i0}}}
+	b0.Term = &Jump{Edge: Edge{To: b1.ID, Args: []Operand{T(i0)}}}
+	b1.Params = []Temp{i}
+	b1.Term = &Branch{Cmp: ast.OpLt, L: T(i), R: T(n),
+		Then: Edge{To: b2.ID}, Else: Edge{To: b3.ID}}
+	b2.Instrs = []Instr{{Kind: KALU, Op: ast.OpAdd, Dsts: []Temp{i2},
+		Srcs: []Operand{T(i), Imm(1)}}}
+	b2.Term = &Jump{Edge: Edge{To: b1.ID, Args: []Operand{T(i2)}}}
+	b3.Term = &Halt{Results: []Operand{T(i)}}
+
+	lv := ComputeLiveness(p)
+	// n must be live around the whole loop.
+	for _, id := range []BlockID{b1.ID, b2.ID} {
+		if !lv.In[id][n] {
+			t.Errorf("n not live into b%d", id)
+		}
+	}
+	// i is live into the loop body (used by the increment) and into
+	// the exit (halt result).
+	if !lv.In[b2.ID][i] || !lv.In[b3.ID][i] {
+		t.Errorf("i liveness wrong: body=%v exit=%v", lv.In[b2.ID], lv.In[b3.ID])
+	}
+}

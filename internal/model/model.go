@@ -1,0 +1,217 @@
+// Package model is a small AMPL-like modeling layer over the LP/MIP
+// solvers (the paper, §5, uses AMPL to describe, generate, and solve
+// its integer linear programs). It provides what the paper's models
+// need: families of 0-1 variables indexed by tuples drawn from sets,
+// linear expression building, named constraint templates, and model
+// statistics (variable, constraint, and objective-term counts as
+// reported in Figures 6 and 7).
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lp"
+	"repro/internal/mip"
+)
+
+// Model is an ILP under construction.
+type Model struct {
+	lp       *lp.Problem
+	cols     map[string]int
+	colNames []string
+	families map[string]int // family -> variable count
+	conCount map[string]int // constraint template -> count
+	integer  []bool
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{
+		lp:       lp.NewProblem(),
+		cols:     map[string]int{},
+		families: map[string]int{},
+		conCount: map[string]int{},
+	}
+}
+
+// key canonicalizes a family + index tuple, e.g. Move[p3,v1,A,B].
+func key(family string, index []any) string {
+	if len(index) == 0 {
+		return family
+	}
+	parts := make([]string, len(index))
+	for i, x := range index {
+		parts[i] = fmt.Sprint(x)
+	}
+	return family + "[" + strings.Join(parts, ",") + "]"
+}
+
+// Binary returns the column of the named 0-1 variable, creating it on
+// first use with objective coefficient 0.
+func (m *Model) Binary(family string, index ...any) int {
+	k := key(family, index)
+	if c, ok := m.cols[k]; ok {
+		return c
+	}
+	c := m.lp.AddCol(0, 0, 1)
+	m.cols[k] = c
+	m.colNames = append(m.colNames, k)
+	m.families[family]++
+	m.integer = append(m.integer, true)
+	return c
+}
+
+// Continuous returns the column of a named continuous variable.
+func (m *Model) Continuous(family string, lo, hi float64, index ...any) int {
+	k := key(family, index)
+	if c, ok := m.cols[k]; ok {
+		return c
+	}
+	c := m.lp.AddCol(0, lo, hi)
+	m.cols[k] = c
+	m.colNames = append(m.colNames, k)
+	m.families[family]++
+	m.integer = append(m.integer, false)
+	return c
+}
+
+// Lookup finds an existing variable without creating it.
+func (m *Model) Lookup(family string, index ...any) (int, bool) {
+	c, ok := m.cols[key(family, index)]
+	return c, ok
+}
+
+// Name returns the canonical name of a column.
+func (m *Model) Name(col int) string { return m.colNames[col] }
+
+// ObjAdd adds coef to a variable's objective coefficient.
+func (m *Model) ObjAdd(col int, coef float64) {
+	m.lp.SetObj(col, m.lp.Obj(col)+coef)
+}
+
+// Expr is a linear expression under construction.
+type Expr struct {
+	cols  []int
+	coefs []float64
+}
+
+// NewExpr returns an empty expression.
+func NewExpr() *Expr { return &Expr{} }
+
+// Add appends coef*col and returns the expression for chaining.
+func (e *Expr) Add(coef float64, col int) *Expr {
+	e.cols = append(e.cols, col)
+	e.coefs = append(e.coefs, coef)
+	return e
+}
+
+// Len returns the number of terms.
+func (e *Expr) Len() int { return len(e.cols) }
+
+// compact merges duplicate columns.
+func (e *Expr) compact() ([]int, []float64) {
+	seen := map[int]int{}
+	var cols []int
+	var coefs []float64
+	for i, c := range e.cols {
+		if at, ok := seen[c]; ok {
+			coefs[at] += e.coefs[i]
+			continue
+		}
+		seen[c] = len(cols)
+		cols = append(cols, c)
+		coefs = append(coefs, e.coefs[i])
+	}
+	return cols, coefs
+}
+
+// Le adds expr <= rhs under the named constraint template.
+func (m *Model) Le(template string, e *Expr, rhs float64) {
+	cols, coefs := e.compact()
+	m.lp.AddRow(-lp.Inf, rhs, cols, coefs)
+	m.conCount[template]++
+}
+
+// Ge adds expr >= rhs.
+func (m *Model) Ge(template string, e *Expr, rhs float64) {
+	cols, coefs := e.compact()
+	m.lp.AddRow(rhs, lp.Inf, cols, coefs)
+	m.conCount[template]++
+}
+
+// Eq adds expr = rhs.
+func (m *Model) Eq(template string, e *Expr, rhs float64) {
+	cols, coefs := e.compact()
+	m.lp.AddRow(rhs, rhs, cols, coefs)
+	m.conCount[template]++
+}
+
+// Stats are the model-size numbers Figure 7 reports.
+type Stats struct {
+	Vars        int
+	Constraints int
+	ObjTerms    int
+	Nonzeros    int
+	Families    map[string]int
+	Templates   map[string]int
+}
+
+// Stats computes the current model statistics.
+func (m *Model) Stats() Stats {
+	return Stats{
+		Vars:        m.lp.NumCols(),
+		Constraints: m.lp.NumRows(),
+		ObjTerms:    m.lp.ObjTerms(),
+		Nonzeros:    m.lp.NumNonzeros(),
+		Families:    m.families,
+		Templates:   m.conCount,
+	}
+}
+
+// FamilyCount returns how many variables a family has.
+func (m *Model) FamilyCount(family string) int { return m.families[family] }
+
+// LP exposes the underlying problem (for bounds fixing in tests).
+func (m *Model) LP() *lp.Problem { return m.lp }
+
+// Solve runs branch and bound.
+func (m *Model) Solve(opts *mip.Options) (*mip.Result, error) {
+	return mip.Solve(m.lp, m.integer, opts)
+}
+
+// Value reads a variable's value out of a solution, defaulting to 0
+// for variables that were never created.
+func (m *Model) Value(res *mip.Result, family string, index ...any) float64 {
+	c, ok := m.Lookup(family, index...)
+	if !ok || res.X == nil {
+		return 0
+	}
+	return res.X[c]
+}
+
+// String renders a compact summary, families sorted by name.
+func (m *Model) String() string {
+	st := m.Stats()
+	var fams []string
+	for f := range st.Families {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	var b strings.Builder
+	fmt.Fprintf(&b, "model: %d vars, %d constraints, %d objective terms\n",
+		st.Vars, st.Constraints, st.ObjTerms)
+	for _, f := range fams {
+		fmt.Fprintf(&b, "  var %s: %d\n", f, st.Families[f])
+	}
+	var cons []string
+	for c := range st.Templates {
+		cons = append(cons, c)
+	}
+	sort.Strings(cons)
+	for _, c := range cons {
+		fmt.Fprintf(&b, "  s.t. %s: %d\n", c, st.Templates[c])
+	}
+	return b.String()
+}

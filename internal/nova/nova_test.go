@@ -1,0 +1,103 @@
+package nova
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCompileSmoke(t *testing.T) {
+	comp, err := Compile("t.nova", `
+fun main(a: word, b: word) -> word { a + b }`, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Asm == nil || comp.Alloc == nil || comp.Assign == nil {
+		t.Fatal("missing pipeline products")
+	}
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("entry regs = %v", regs)
+	}
+	for _, r := range regs {
+		if r.Bank != core.A && r.Bank != core.B {
+			t.Fatalf("entry parameter in %v", r.Bank)
+		}
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	_, err := Compile("bad.nova", `fun main( {`, DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "bad.nova:1:") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileTypeError(t *testing.T) {
+	_, err := Compile("bad.nova", `fun main(a: word) -> word { if (a) 1 else 2 }`, DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "if condition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileMissingEntry(t *testing.T) {
+	_, err := Compile("bad.nova", `fun other() -> word { 1 }`, DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "entry function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaticStats(t *testing.T) {
+	st, err := StaticStatsOf("s.nova", `
+layout a = { x : 8, y : 24 };
+layout b = { z : 32 };
+fun main(p: word) -> word {
+  try {
+    let u = unpack[a](p);
+    if (u.x == 0) { raise E(u.y) };
+    let q = pack[b] [ z = u.y ];
+    q
+  } handle E (w: word) { w }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Layouts != 2 || st.Packs != 1 || st.Unpacks != 1 || st.Raises != 1 || st.Handles != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Lines < 10 {
+		t.Fatalf("lines = %d", st.Lines)
+	}
+}
+
+func TestSkipAsm(t *testing.T) {
+	comp, err := Compile("t.nova", `fun main(a: word) -> word { a + 1 }`,
+		func() Options { o := DefaultOptions(); o.SkipAsm = true; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Asm != nil {
+		t.Fatal("SkipAsm produced assembly")
+	}
+	if comp.Alloc == nil {
+		t.Fatal("SkipAsm must still allocate")
+	}
+}
+
+func TestCustomEntry(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Entry = "fastpath"
+	comp, err := Compile("t.nova", `
+fun helper(x: word) -> word { x * 2 }
+fun fastpath(a: word) -> word { helper(a) + 1 }`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Asm.CodeWords() == 0 {
+		t.Fatal("no code")
+	}
+}

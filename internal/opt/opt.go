@@ -1,0 +1,638 @@
+// Package opt implements the CPS optimizer of §4.4: constant folding,
+// global constant propagation, local value propagation (CSE), eta
+// reduction, contraction (inlining of called-once continuations),
+// useless-variable elimination, dead-code elimination, and trimming of
+// memory reads. The combination makes programming with records, tuples,
+// pack, and unpack inexpensive: extractions of unused fields disappear.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/cps"
+	"repro/internal/types"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	Rounds       int
+	Folded       int // constant-folded or strength-reduced bindings
+	Copies       int // copy/constant propagations
+	Inlined      int // called-once functions inlined
+	Eta          int // eta-reduced continuations
+	DeadBindings int // pure bindings removed
+	DeadFuns     int // unreachable functions removed
+	TrimmedReads int // memory reads narrowed or removed
+	CSE          int // local common subexpressions reused
+	Hoisted      int // loop-invariant operations hoisted
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("rounds=%d folded=%d copies=%d inlined=%d eta=%d dead=%d deadfuns=%d trimmed=%d cse=%d hoisted=%d",
+		s.Rounds, s.Folded, s.Copies, s.Inlined, s.Eta, s.DeadBindings, s.DeadFuns, s.TrimmedReads, s.CSE, s.Hoisted)
+}
+
+// Optimize rewrites p in place until a fixed point (bounded by a round
+// budget) and returns statistics.
+func Optimize(p *cps.Program) *Stats {
+	stats := &Stats{}
+	runRounds := func() {
+		for round := 0; round < 50; round++ {
+			o := &optimizer{p: p, stats: stats, subst: map[cps.Var]cps.Value{}}
+			o.census()
+			o.rewriteAll()
+			o.removeUnreachable()
+			o.dropUselessParams()
+			stats.Rounds++
+			if !o.changed {
+				break
+			}
+		}
+	}
+	runRounds()
+	// Loop-invariant hoisting exposes new simplifications (and vice
+	// versa); alternate a few times.
+	for i := 0; i < 3; i++ {
+		n := hoistLoopInvariants(p)
+		stats.Hoisted += n
+		if n == 0 {
+			break
+		}
+		runRounds()
+	}
+	return stats
+}
+
+// dropUselessParams removes function parameters whose only uses are as
+// arguments in useless positions of other calls (§4.4 useless-variable
+// elimination). This is what makes ignored record fields and unpack
+// extractions truly free: their values stop flowing through join
+// points, so the extractions die on the next round.
+func (o *optimizer) dropUselessParams() {
+	// Direct uses: every operand occurrence except App arguments.
+	direct := map[cps.Var]int{}
+	type appSite struct{ app *cps.App }
+	var apps []appSite
+	var walk func(t cps.Term)
+	walk = func(t cps.Term) {
+		switch t := t.(type) {
+		case *cps.If:
+			for _, v := range []cps.Value{t.L, t.R} {
+				if vv, ok := v.(cps.Var); ok {
+					direct[vv]++
+				}
+			}
+			walk(t.Then)
+			walk(t.Else)
+		case *cps.App:
+			apps = append(apps, appSite{app: t})
+		case *cps.Halt:
+			for _, v := range t.Results {
+				if vv, ok := v.(cps.Var); ok {
+					direct[vv]++
+				}
+			}
+		default:
+			for _, v := range cps.Uses(t) {
+				if vv, ok := v.(cps.Var); ok {
+					direct[vv]++
+				}
+			}
+			walk(cps.Cont(t))
+		}
+	}
+	for _, l := range o.sortedLabels() {
+		walk(o.p.Funs[l].Body)
+	}
+	// A parameter is useful if directly used, or passed into a useful
+	// parameter position. Iterate to a fixed point.
+	useful := map[cps.Var]bool{}
+	for v, n := range direct {
+		if n > 0 {
+			useful[v] = true
+		}
+	}
+	if f, ok := o.p.Funs[o.p.Entry]; ok {
+		for _, pv := range f.Params {
+			useful[pv] = true // entry parameters are the program inputs
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, site := range apps {
+			callee, ok := o.p.Funs[site.app.F]
+			if !ok {
+				continue
+			}
+			for i, a := range site.app.Args {
+				if i >= len(callee.Params) {
+					break
+				}
+				av, isVar := a.(cps.Var)
+				if !isVar || useful[av] {
+					continue
+				}
+				if useful[callee.Params[i]] {
+					useful[av] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Physically drop useless parameters and the matching arguments.
+	keepMask := map[cps.Label][]bool{}
+	for _, l := range o.sortedLabels() {
+		f := o.p.Funs[l]
+		if l == o.p.Entry {
+			continue
+		}
+		mask := make([]bool, len(f.Params))
+		drop := false
+		for i, pv := range f.Params {
+			mask[i] = useful[pv]
+			if !mask[i] {
+				drop = true
+			}
+		}
+		if drop {
+			keepMask[l] = mask
+		}
+	}
+	if len(keepMask) == 0 {
+		return
+	}
+	o.changed = true
+	for l, mask := range keepMask {
+		f := o.p.Funs[l]
+		var kept []cps.Var
+		for i, pv := range f.Params {
+			if mask[i] {
+				kept = append(kept, pv)
+			} else {
+				o.stats.DeadBindings++
+			}
+		}
+		f.Params = kept
+	}
+	for _, site := range apps {
+		mask, ok := keepMask[site.app.F]
+		if !ok {
+			continue
+		}
+		var kept []cps.Value
+		for i, a := range site.app.Args {
+			if i < len(mask) && mask[i] {
+				kept = append(kept, a)
+			}
+		}
+		site.app.Args = kept
+	}
+}
+
+type optimizer struct {
+	p       *cps.Program
+	stats   *Stats
+	subst   map[cps.Var]cps.Value
+	uses    map[cps.Var]int
+	labUses map[cps.Label]int
+	inline  map[cps.Label]bool // labels currently being inlined (cycle guard)
+	changed bool
+}
+
+// census counts variable and label uses over functions reachable from
+// the entry.
+func (o *optimizer) census() {
+	o.uses = map[cps.Var]int{}
+	o.labUses = map[cps.Label]int{}
+	o.inline = map[cps.Label]bool{}
+	seen := map[cps.Label]bool{}
+	var visitTerm func(t cps.Term)
+	var visitFun func(l cps.Label)
+	visitTerm = func(t cps.Term) {
+		for _, v := range cps.Uses(t) {
+			if vv, ok := v.(cps.Var); ok {
+				o.uses[vv]++
+			}
+		}
+		switch t := t.(type) {
+		case *cps.If:
+			visitTerm(t.Then)
+			visitTerm(t.Else)
+		case *cps.App:
+			o.labUses[t.F]++
+			visitFun(t.F)
+		default:
+			if k := cps.Cont(t); k != nil {
+				visitTerm(k)
+			}
+		}
+	}
+	visitFun = func(l cps.Label) {
+		if seen[l] {
+			return
+		}
+		seen[l] = true
+		if f, ok := o.p.Funs[l]; ok {
+			visitTerm(f.Body)
+		}
+	}
+	visitFun(o.p.Entry)
+}
+
+func (o *optimizer) rewriteAll() {
+	// Rewrite each reachable function in deterministic label order.
+	// Census is recomputed per round, so inlining decisions are based
+	// on slightly stale counts — safe, because counts only shrink.
+	for _, l := range o.sortedLabels() {
+		f, ok := o.p.Funs[l]
+		if !ok {
+			continue // inlined away earlier in this round
+		}
+		if o.labUses[l] == 0 && l != o.p.Entry {
+			continue
+		}
+		cse := map[string]cps.Var{}
+		f.Body = o.rewrite(f.Body, cse)
+	}
+}
+
+func (o *optimizer) sortedLabels() []cps.Label {
+	labels := make([]cps.Label, 0, len(o.p.Funs))
+	for l := range o.p.Funs {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}
+
+func (o *optimizer) val(v cps.Value) cps.Value {
+	for {
+		vv, ok := v.(cps.Var)
+		if !ok {
+			return v
+		}
+		s, ok := o.subst[vv]
+		if !ok {
+			return v
+		}
+		v = s
+	}
+}
+
+func (o *optimizer) vals(vs []cps.Value) []cps.Value {
+	out := make([]cps.Value, len(vs))
+	for i, v := range vs {
+		out[i] = o.val(v)
+	}
+	return out
+}
+
+// anyUsed reports whether any of the variables is used (after the
+// current round's census).
+func (o *optimizer) anyUsed(vs []cps.Var) bool {
+	for _, v := range vs {
+		if o.uses[v] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *optimizer) rewrite(t cps.Term, cse map[string]cps.Var) cps.Term {
+	switch t := t.(type) {
+	case *cps.Arith:
+		l, r := o.val(t.L), o.val(t.R)
+		t.L, t.R = l, r
+		// Useless binding: safe to drop outright (no uses anywhere).
+		if o.uses[t.Dst] == 0 {
+			o.stats.DeadBindings++
+			o.changed = true
+			return o.rewrite(t.K, cse)
+		}
+		// Constant folding, identities, and local CSE record a
+		// substitution but KEEP the binding: uses inside functions
+		// rewritten earlier this round still reference the old name,
+		// and the substitution map does not survive rounds. Dead-code
+		// elimination drops the binding once every use is rewritten.
+		if lc, ok := l.(cps.Const); ok {
+			if rc, ok := r.(cps.Const); ok {
+				if v, ok := types.EvalBinop(t.Op, uint32(lc), uint32(rc)); ok {
+					if _, had := o.subst[t.Dst]; !had {
+						o.subst[t.Dst] = cps.Const(v)
+						o.stats.Folded++
+						o.changed = true
+					}
+					t.K = o.rewrite(t.K, cse)
+					return t
+				}
+			}
+		}
+		if v, ok := simplifyArith(t.Op, l, r); ok {
+			if _, had := o.subst[t.Dst]; !had {
+				o.subst[t.Dst] = v
+				o.stats.Folded++
+				o.changed = true
+			}
+			t.K = o.rewrite(t.K, cse)
+			return t
+		}
+		// Local CSE.
+		key := fmt.Sprintf("%v|%v|%v", t.Op, l, r)
+		if prev, ok := cse[key]; ok && prev != t.Dst {
+			if _, had := o.subst[t.Dst]; !had {
+				o.subst[t.Dst] = prev
+				o.stats.CSE++
+				o.changed = true
+			}
+			t.K = o.rewrite(t.K, cse)
+			return t
+		}
+		cse[key] = t.Dst
+		t.K = o.rewrite(t.K, cse)
+		return t
+	case *cps.Clone:
+		if o.uses[t.Dst] == 0 {
+			o.stats.DeadBindings++
+			o.changed = true
+			return o.rewrite(t.K, cse)
+		}
+		if sv, ok := o.val(t.Src).(cps.Var); ok {
+			t.Src = sv
+		} else {
+			// Clone of a constant: propagate the constant; the binding
+			// dies once every use is rewritten.
+			if _, had := o.subst[t.Dst]; !had {
+				o.subst[t.Dst] = o.val(t.Src)
+				o.stats.Copies++
+				o.changed = true
+			}
+		}
+		t.K = o.rewrite(t.K, cse)
+		return t
+	case *cps.MemRead:
+		t.Addr = o.val(t.Addr)
+		if trimmed, ok := o.trimRead(t); ok {
+			return o.rewrite(trimmed, cse)
+		}
+		t.K = o.rewrite(t.K, cse)
+		return t
+	case *cps.MemWrite:
+		t.Addr = o.val(t.Addr)
+		t.Srcs = o.vals(t.Srcs)
+		t.K = o.rewrite(t.K, cse)
+		return t
+	case *cps.Special:
+		t.Args = o.vals(t.Args)
+		// A hash whose result is unused is pure and removable; the
+		// other specials have observable effects.
+		if t.Kind == cps.SpecHash && !o.anyUsed(t.Dsts) {
+			o.stats.DeadBindings++
+			o.changed = true
+			return o.rewrite(t.K, cse)
+		}
+		t.K = o.rewrite(t.K, cse)
+		return t
+	case *cps.If:
+		l, r := o.val(t.L), o.val(t.R)
+		t.L, t.R = l, r
+		if lc, ok := l.(cps.Const); ok {
+			if rc, ok := r.(cps.Const); ok {
+				o.stats.Folded++
+				o.changed = true
+				if evalCmp(t.Cmp, uint32(lc), uint32(rc)) {
+					return o.rewrite(t.Then, cse)
+				}
+				return o.rewrite(t.Else, cse)
+			}
+		}
+		// Branches get private CSE scopes seeded from the current one.
+		t.Then = o.rewrite(t.Then, copyCSE(cse))
+		t.Else = o.rewrite(t.Else, copyCSE(cse))
+		return t
+	case *cps.App:
+		t.Args = o.vals(t.Args)
+		f, ok := o.p.Funs[t.F]
+		if !ok {
+			return t
+		}
+		// Eta: goto a function that just forwards to another label.
+		if app, ok := f.Body.(*cps.App); ok && len(f.Params) == len(app.Args) && t.F != app.F {
+			forwards := true
+			for i, a := range app.Args {
+				av, isVar := a.(cps.Var)
+				if !isVar || av != f.Params[i] {
+					forwards = false
+					break
+				}
+			}
+			if forwards {
+				o.stats.Eta++
+				o.changed = true
+				t.F = app.F
+				return o.rewrite(t, cse)
+			}
+		}
+		// Contraction: inline a function with exactly one call site.
+		if o.labUses[t.F] == 1 && t.F != o.p.Entry && !o.inline[t.F] {
+			o.inline[t.F] = true
+			for i, p := range f.Params {
+				o.subst[p] = t.Args[i]
+			}
+			o.stats.Inlined++
+			o.changed = true
+			body := o.rewrite(f.Body, cse)
+			delete(o.p.Funs, t.F)
+			return body
+		}
+		return t
+	case *cps.Halt:
+		t.Results = o.vals(t.Results)
+		return t
+	}
+	return t
+}
+
+// trimRead narrows a memory read to the span of used destinations
+// (§4.4 "trimming of memory reads"), or removes it entirely when every
+// destination is dead. SDRAM reads keep 2-word alignment and size.
+func (o *optimizer) trimRead(t *cps.MemRead) (cps.Term, bool) {
+	n := len(t.Dsts)
+	lo := 0
+	for lo < n && o.uses[t.Dsts[lo]] == 0 {
+		lo++
+	}
+	if lo == n {
+		o.stats.TrimmedReads++
+		o.changed = true
+		return t.K, true
+	}
+	hi := n
+	for hi > lo && o.uses[t.Dsts[hi-1]] == 0 {
+		hi--
+	}
+	if t.Space == cps.SpaceSDRAM {
+		lo &^= 1 // keep even offset
+		if (hi-lo)%2 != 0 {
+			hi++
+		}
+	}
+	if lo == 0 && hi == n {
+		return nil, false
+	}
+	// Narrow: adjust the address by lo words.
+	o.stats.TrimmedReads++
+	o.changed = true
+	t.Dsts = t.Dsts[lo:hi]
+	if lo > 0 {
+		if c, ok := t.Addr.(cps.Const); ok {
+			t.Addr = cps.Const(uint32(c) + uint32(lo))
+			return nil, false
+		}
+		addr := o.p.NewVar("addr_trim")
+		add := &cps.Arith{Op: ast.OpAdd, L: t.Addr, R: cps.Const(uint32(lo)), Dst: addr, K: t}
+		t.Addr = addr
+		// The census predates this binding; record its use so the
+		// dead-code check doesn't immediately remove it.
+		o.uses[addr] = 1
+		return add, true
+	}
+	return nil, false
+}
+
+func copyCSE(m map[string]cps.Var) map[string]cps.Var {
+	out := make(map[string]cps.Var, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// removeUnreachable deletes functions no longer reachable from entry.
+func (o *optimizer) removeUnreachable() {
+	reach := map[cps.Label]bool{}
+	var visit func(l cps.Label)
+	var visitTerm func(t cps.Term)
+	visitTerm = func(t cps.Term) {
+		switch t := t.(type) {
+		case *cps.If:
+			visitTerm(t.Then)
+			visitTerm(t.Else)
+		case *cps.App:
+			visit(t.F)
+		default:
+			if k := cps.Cont(t); k != nil {
+				visitTerm(k)
+			}
+		}
+	}
+	visit = func(l cps.Label) {
+		if reach[l] {
+			return
+		}
+		reach[l] = true
+		if f, ok := o.p.Funs[l]; ok {
+			visitTerm(f.Body)
+		}
+	}
+	visit(o.p.Entry)
+	for l := range o.p.Funs {
+		if !reach[l] {
+			delete(o.p.Funs, l)
+			o.stats.DeadFuns++
+			o.changed = true
+		}
+	}
+}
+
+// simplifyArith applies operator identities. It returns the simplified
+// value when the operation is a no-op or constant.
+func simplifyArith(op ast.BinOp, l, r cps.Value) (cps.Value, bool) {
+	lc, lIsC := l.(cps.Const)
+	rc, rIsC := r.(cps.Const)
+	switch op {
+	case ast.OpAdd:
+		if rIsC && rc == 0 {
+			return l, true
+		}
+		if lIsC && lc == 0 {
+			return r, true
+		}
+	case ast.OpSub:
+		if rIsC && rc == 0 {
+			return l, true
+		}
+		if l == r {
+			if _, isVar := l.(cps.Var); isVar {
+				return cps.Const(0), true
+			}
+		}
+	case ast.OpMul:
+		if rIsC && rc == 1 {
+			return l, true
+		}
+		if lIsC && lc == 1 {
+			return r, true
+		}
+		if (rIsC && rc == 0) || (lIsC && lc == 0) {
+			return cps.Const(0), true
+		}
+	case ast.OpAnd:
+		if rIsC && rc == 0xffffffff {
+			return l, true
+		}
+		if lIsC && lc == 0xffffffff {
+			return r, true
+		}
+		if (rIsC && rc == 0) || (lIsC && lc == 0) {
+			return cps.Const(0), true
+		}
+		if l == r {
+			return l, true
+		}
+	case ast.OpOr:
+		if rIsC && rc == 0 {
+			return l, true
+		}
+		if lIsC && lc == 0 {
+			return r, true
+		}
+		if l == r {
+			return l, true
+		}
+	case ast.OpXor:
+		if rIsC && rc == 0 {
+			return l, true
+		}
+		if lIsC && lc == 0 {
+			return r, true
+		}
+	case ast.OpShl, ast.OpShr:
+		if rIsC && rc == 0 {
+			return l, true
+		}
+		if lIsC && lc == 0 {
+			return cps.Const(0), true
+		}
+	}
+	return nil, false
+}
+
+func evalCmp(op ast.BinOp, l, r uint32) bool {
+	switch op {
+	case ast.OpEq:
+		return l == r
+	case ast.OpNe:
+		return l != r
+	case ast.OpLt:
+		return l < r
+	case ast.OpGt:
+		return l > r
+	case ast.OpLe:
+		return l <= r
+	case ast.OpGe:
+		return l >= r
+	}
+	return false
+}

@@ -1,0 +1,781 @@
+// Package parser implements a recursive-descent parser for Nova.
+//
+// The grammar is block-structured: a program is a sequence of layout,
+// constant, and function declarations; function bodies are blocks of
+// statements with an optional trailing result expression. Binary
+// operators are parsed by precedence climbing using the precedence
+// table in the token package.
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Parser consumes tokens from a lexer and produces an AST.
+type Parser struct {
+	errs *source.ErrorList
+	toks []lexer.Token
+	pos  int
+}
+
+// Parse parses one whole file. Diagnostics are recorded in errs;
+// a best-effort partial AST is returned even on error.
+func Parse(f *source.File, errs *source.ErrorList) *ast.Program {
+	p := &Parser{errs: errs, toks: lexer.ScanAll(f, errs)}
+	return p.parseProgram()
+}
+
+// ParseString is a convenience for tests: parse source text directly.
+func ParseString(name, src string) (*ast.Program, *source.ErrorList) {
+	f := source.NewFile(name, src)
+	errs := source.NewErrorList(f)
+	return Parse(f, errs), errs
+}
+
+func (p *Parser) cur() lexer.Token     { return p.toks[p.pos] }
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(n int) token.Kind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return token.EOF
+}
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errs.Errorf(p.cur().Span, "expected %v, found %v %q", k, p.cur().Kind, p.cur().Text)
+	return lexer.Token{Kind: k, Span: p.cur().Span}
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely declaration or statement boundary.
+func (p *Parser) sync(stop ...token.Kind) {
+	for !p.at(token.EOF) {
+		k := p.cur().Kind
+		for _, s := range stop {
+			if k == s {
+				return
+			}
+		}
+		switch k {
+		case token.Semi:
+			p.next()
+			return
+		case token.KwFun, token.KwLayout, token.RBrace:
+			return
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *Parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	start := p.cur().Span
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwLayout:
+			prog.Decls = append(prog.Decls, p.parseLayoutDecl())
+		case token.KwLet:
+			prog.Decls = append(prog.Decls, p.parseConstDecl())
+		case token.KwFun:
+			prog.Decls = append(prog.Decls, p.parseFunDecl())
+		default:
+			p.errs.Errorf(p.cur().Span, "expected declaration, found %q", p.cur().Text)
+			p.sync()
+			if p.at(token.Semi) || p.at(token.RBrace) {
+				p.next()
+			}
+		}
+	}
+	prog.Sp = start.Union(p.cur().Span)
+	return prog
+}
+
+func (p *Parser) parseLayoutDecl() *ast.LayoutDecl {
+	start := p.expect(token.KwLayout).Span
+	name := p.expect(token.Ident)
+	p.expect(token.Assign)
+	body := p.parseLayoutExpr()
+	end := p.expect(token.Semi).Span
+	return &ast.LayoutDecl{Name: name.Text, Body: body, Sp: start.Union(end)}
+}
+
+func (p *Parser) parseConstDecl() *ast.ConstDecl {
+	start := p.expect(token.KwLet).Span
+	name := p.expect(token.Ident)
+	p.expect(token.Assign)
+	x := p.parseExpr()
+	end := p.expect(token.Semi).Span
+	return &ast.ConstDecl{Name: name.Text, X: x, Sp: start.Union(end)}
+}
+
+func (p *Parser) parseFunDecl() *ast.FunDecl {
+	start := p.expect(token.KwFun).Span
+	name := p.expect(token.Ident)
+	params, named := p.parseParams()
+	var result ast.TypeExpr
+	if p.accept(token.Arrow) {
+		result = p.parseType()
+	}
+	body := p.parseBlock()
+	return &ast.FunDecl{
+		Name: name.Text, Params: params, Named: named, Result: result,
+		Body: body, Sp: start.Union(body.Sp),
+	}
+}
+
+func (p *Parser) parseParams() (params []ast.Param, named bool) {
+	var close token.Kind
+	switch {
+	case p.accept(token.LParen):
+		close = token.RParen
+	case p.accept(token.LBracket):
+		close = token.RBracket
+		named = true
+	default:
+		p.errs.Errorf(p.cur().Span, "expected parameter list, found %q", p.cur().Text)
+		return nil, false
+	}
+	for !p.at(close) && !p.at(token.EOF) {
+		params = append(params, p.parseParam())
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(close)
+	return params, named
+}
+
+func (p *Parser) parseParam() ast.Param {
+	name := p.expect(token.Ident)
+	sp := name.Span
+	var typ ast.TypeExpr
+	if p.accept(token.Colon) {
+		typ = p.parseType()
+		sp = sp.Union(typ.Span())
+	}
+	return ast.Param{Name: name.Text, Type: typ, Sp: sp}
+}
+
+// ---------------------------------------------------------------------------
+// Layout expressions
+
+func (p *Parser) parseLayoutExpr() ast.LayoutExpr {
+	l := p.parseLayoutPrimary()
+	for p.at(token.HashHash) {
+		op := p.next()
+		r := p.parseLayoutPrimary()
+		l = &ast.LayoutConcat{L: l, R: r, Sp: l.Span().Union(r.Span()).Union(op.Span)}
+	}
+	return l
+}
+
+func (p *Parser) parseLayoutPrimary() ast.LayoutExpr {
+	switch p.cur().Kind {
+	case token.Ident:
+		t := p.next()
+		return &ast.LayoutName{Name: t.Text, Sp: t.Span}
+	case token.LBrace:
+		start := p.next().Span
+		// {16} is an unnamed gap; otherwise a field list.
+		if p.at(token.Int) && p.peekKind(1) == token.RBrace {
+			n := p.parseIntLit()
+			end := p.expect(token.RBrace).Span
+			return &ast.LayoutGap{Bits: int(n), Sp: start.Union(end)}
+		}
+		var fields []ast.LayoutField
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			fields = append(fields, p.parseLayoutField())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		end := p.expect(token.RBrace).Span
+		return &ast.LayoutLit{Fields: fields, Sp: start.Union(end)}
+	default:
+		p.errs.Errorf(p.cur().Span, "expected layout expression, found %q", p.cur().Text)
+		sp := p.cur().Span
+		p.next()
+		return &ast.LayoutGap{Bits: 0, Sp: sp}
+	}
+}
+
+func (p *Parser) parseLayoutField() ast.LayoutField {
+	name := p.expect(token.Ident)
+	p.expect(token.Colon)
+	f := ast.LayoutField{Name: name.Text, Sp: name.Span}
+	switch p.cur().Kind {
+	case token.Int:
+		f.Bits = int(p.parseIntLit())
+	case token.KwOverlay:
+		p.next()
+		p.expect(token.LBrace)
+		for {
+			alt := p.parseOverlayAlt()
+			f.Overlay = append(f.Overlay, alt)
+			if !p.accept(token.Bar) {
+				break
+			}
+		}
+		p.expect(token.RBrace)
+	default:
+		f.Sub = p.parseLayoutExpr()
+	}
+	return f
+}
+
+func (p *Parser) parseOverlayAlt() ast.LayoutField {
+	name := p.expect(token.Ident)
+	p.expect(token.Colon)
+	f := ast.LayoutField{Name: name.Text, Sp: name.Span}
+	if p.at(token.Int) {
+		f.Bits = int(p.parseIntLit())
+	} else {
+		f.Sub = p.parseLayoutExpr()
+	}
+	return f
+}
+
+func (p *Parser) parseIntLit() uint32 {
+	t := p.expect(token.Int)
+	v, err := strconv.ParseUint(t.Text, 0, 64)
+	if err != nil || v > 0xffffffff {
+		p.errs.Errorf(t.Span, "integer literal %q out of 32-bit range", t.Text)
+		return 0
+	}
+	return uint32(v)
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+func (p *Parser) parseType() ast.TypeExpr {
+	switch p.cur().Kind {
+	case token.KwWord:
+		t := p.next()
+		if p.accept(token.LBracket) {
+			n := p.parseIntLit()
+			end := p.expect(token.RBracket).Span
+			return &ast.WordArrayType{N: int(n), Sp: t.Span.Union(end)}
+		}
+		return &ast.WordType{Sp: t.Span}
+	case token.KwBool:
+		t := p.next()
+		return &ast.BoolType{Sp: t.Span}
+	case token.KwPacked, token.KwUnpacked:
+		t := p.next()
+		p.expect(token.LParen)
+		l := p.parseLayoutExpr()
+		end := p.expect(token.RParen).Span
+		if t.Kind == token.KwPacked {
+			return &ast.PackedType{Layout: l, Sp: t.Span.Union(end)}
+		}
+		return &ast.UnpackedType{Layout: l, Sp: t.Span.Union(end)}
+	case token.KwExn:
+		t := p.next()
+		// exn(T, ...) takes anonymous typed parameters; exn[x: T, ...]
+		// takes named ones.
+		if p.accept(token.LParen) {
+			var params []ast.Param
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				typ := p.parseType()
+				params = append(params, ast.Param{Type: typ, Sp: typ.Span()})
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			end := p.expect(token.RParen).Span
+			return &ast.ExnType{Params: params, Sp: t.Span.Union(end)}
+		}
+		params, named := p.parseParams()
+		return &ast.ExnType{Params: params, Named: named, Sp: t.Span.Union(p.cur().Span)}
+	case token.LParen:
+		start := p.next().Span
+		var elems []ast.TypeExpr
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			elems = append(elems, p.parseType())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		end := p.expect(token.RParen).Span
+		if p.accept(token.Arrow) {
+			res := p.parseType()
+			return &ast.ArrowType{Params: elems, Result: res, Sp: start.Union(res.Span())}
+		}
+		return &ast.TupleType{Elems: elems, Sp: start.Union(end)}
+	case token.LBracket:
+		start := p.next().Span
+		var fields []ast.Param
+		for !p.at(token.RBracket) && !p.at(token.EOF) {
+			fields = append(fields, p.parseParam())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		end := p.expect(token.RBracket).Span
+		return &ast.RecordType{Fields: fields, Sp: start.Union(end)}
+	default:
+		p.errs.Errorf(p.cur().Span, "expected type, found %q", p.cur().Text)
+		sp := p.cur().Span
+		p.next()
+		return &ast.WordType{Sp: sp}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Blocks and statements
+
+func (p *Parser) parseBlock() *ast.Block {
+	start := p.expect(token.LBrace).Span
+	b := &ast.Block{}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwLet:
+			b.Stmts = append(b.Stmts, p.parseLetStmt())
+		case token.KwFun:
+			b.Stmts = append(b.Stmts, &ast.FunStmt{Fun: p.parseFunDecl()})
+		case token.KwWhile:
+			b.Stmts = append(b.Stmts, p.parseWhileStmt())
+		case token.KwReturn:
+			t := p.next()
+			var x ast.Expr
+			if !p.at(token.Semi) && !p.at(token.RBrace) {
+				x = p.parseExpr()
+			}
+			end := t.Span
+			if x != nil {
+				end = x.Span()
+			}
+			p.accept(token.Semi)
+			b.Stmts = append(b.Stmts, &ast.ReturnStmt{X: x, Sp: t.Span.Union(end)})
+		case token.Semi:
+			p.next() // stray semicolon
+		default:
+			x := p.parseExpr()
+			if st, ok := p.maybeStore(x); ok {
+				b.Stmts = append(b.Stmts, st)
+				continue
+			}
+			switch {
+			case p.accept(token.Semi):
+				b.Stmts = append(b.Stmts, &ast.ExprStmt{X: x, Sp: x.Span()})
+			case p.at(token.RBrace):
+				b.Result = x
+			case endsWithBlock(x):
+				b.Stmts = append(b.Stmts, &ast.ExprStmt{X: x, Sp: x.Span()})
+			default:
+				p.errs.Errorf(p.cur().Span, "expected ';' or '}' after expression, found %q", p.cur().Text)
+				p.sync(token.RBrace)
+			}
+		}
+	}
+	end := p.expect(token.RBrace).Span
+	b.Sp = start.Union(end)
+	return b
+}
+
+// endsWithBlock reports whether x syntactically ends with a closing
+// brace, allowing the statement semicolon to be omitted.
+func endsWithBlock(x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.IfExpr:
+		if x.Else != nil {
+			return endsWithBlock(x.Else)
+		}
+		return endsWithBlock(x.Then)
+	case *ast.BlockExpr, *ast.TryExpr:
+		return true
+	}
+	return false
+}
+
+// maybeStore converts "intrinsic(addr) <- values" into a StoreStmt.
+func (p *Parser) maybeStore(x ast.Expr) (ast.Stmt, bool) {
+	if !p.at(token.LArrow) {
+		return nil, false
+	}
+	arrow := p.next()
+	in, ok := x.(*ast.IntrinsicExpr)
+	if !ok || len(in.Args) != 1 {
+		p.errs.Errorf(arrow.Span, "left side of '<-' must be a memory intrinsic with an address")
+		p.parseExpr()
+		p.accept(token.Semi)
+		return &ast.ExprStmt{X: x, Sp: x.Span()}, true
+	}
+	switch in.Op {
+	case ast.OpSRAM, ast.OpSDRAM, ast.OpScratch, ast.OpTFIFO, ast.OpCSR:
+	default:
+		p.errs.Errorf(arrow.Span, "%v is not writable", in.Op)
+	}
+	rhs := p.parseExpr()
+	var values []ast.Expr
+	if tup, ok := rhs.(*ast.TupleExpr); ok {
+		values = tup.Elems
+	} else {
+		values = []ast.Expr{rhs}
+	}
+	end := rhs.Span()
+	p.accept(token.Semi)
+	return &ast.StoreStmt{Op: in.Op, Addr: in.Args[0], Values: values,
+		Sp: x.Span().Union(end)}, true
+}
+
+func (p *Parser) parseLetStmt() ast.Stmt {
+	start := p.expect(token.KwLet).Span
+	st := &ast.LetStmt{Sp: start}
+	if p.accept(token.LParen) {
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			st.Names = append(st.Names, p.parseBindName())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	} else {
+		st.Names = append(st.Names, p.parseBindName())
+		if p.accept(token.Colon) {
+			st.Type = p.parseType()
+		}
+	}
+	p.expect(token.Assign)
+	st.X = p.parseExpr()
+	st.Sp = start.Union(st.X.Span())
+	p.accept(token.Semi)
+	return st
+}
+
+func (p *Parser) parseBindName() string {
+	if p.at(token.Underscore) {
+		p.next()
+		return "_"
+	}
+	return p.expect(token.Ident).Text
+}
+
+func (p *Parser) parseWhileStmt() ast.Stmt {
+	start := p.expect(token.KwWhile).Span
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	body := p.parseBlock()
+	return &ast.WhileStmt{Cond: cond, Body: body, Sp: start.Union(body.Sp)}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	l := p.parseUnary()
+	for {
+		k := p.cur().Kind
+		prec := k.Prec()
+		if prec < minPrec || prec == 0 {
+			return l
+		}
+		p.next()
+		r := p.parseBinary(prec + 1)
+		l = &ast.BinaryExpr{Op: binOpOf(k), L: l, R: r, Sp: l.Span().Union(r.Span())}
+	}
+}
+
+func binOpOf(k token.Kind) ast.BinOp {
+	switch k {
+	case token.Plus:
+		return ast.OpAdd
+	case token.Minus:
+		return ast.OpSub
+	case token.Star:
+		return ast.OpMul
+	case token.Slash:
+		return ast.OpDiv
+	case token.Percent:
+		return ast.OpMod
+	case token.Amp:
+		return ast.OpAnd
+	case token.Bar:
+		return ast.OpOr
+	case token.Caret:
+		return ast.OpXor
+	case token.Shl:
+		return ast.OpShl
+	case token.Shr:
+		return ast.OpShr
+	case token.Eq:
+		return ast.OpEq
+	case token.Ne:
+		return ast.OpNe
+	case token.Lt:
+		return ast.OpLt
+	case token.Gt:
+		return ast.OpGt
+	case token.Le:
+		return ast.OpLe
+	case token.Ge:
+		return ast.OpGe
+	case token.AndAnd:
+		return ast.OpAndAnd
+	case token.OrOr:
+		return ast.OpOrOr
+	}
+	panic("parser: not a binary operator: " + k.String())
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Minus:
+		t := p.next()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.OpNeg, X: x, Sp: t.Span.Union(x.Span())}
+	case token.Not:
+		t := p.next()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.OpNot, X: x, Sp: t.Span.Union(x.Span())}
+	case token.Tilde:
+		t := p.next()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.OpInv, X: x, Sp: t.Span.Union(x.Span())}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.LParen:
+			start := p.next().Span
+			var args []ast.Expr
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				args = append(args, p.parseExpr())
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			end := p.expect(token.RParen).Span
+			if in, ok := x.(*ast.IntrinsicExpr); ok && in.Args == nil {
+				in.Args = args
+				in.Sp = in.Sp.Union(end)
+			} else {
+				x = &ast.CallExpr{Callee: x, Args: args, Sp: x.Span().Union(start).Union(end)}
+			}
+		case token.LBracket:
+			// g[x = e, ...] is a named call; intrinsic[n] sets an
+			// aggregate size on a pending intrinsic.
+			if in, ok := x.(*ast.IntrinsicExpr); ok && in.Args == nil && p.peekKind(1) == token.Int {
+				p.next()
+				in.Size = int(p.parseIntLit())
+				end := p.expect(token.RBracket).Span
+				in.Sp = in.Sp.Union(end)
+				continue
+			}
+			start := p.next().Span
+			fields := p.parseFieldInits(token.RBracket)
+			end := p.expect(token.RBracket).Span
+			x = &ast.CallNamedExpr{Callee: x, Fields: fields, Sp: x.Span().Union(start).Union(end)}
+		case token.Dot:
+			p.next()
+			switch p.cur().Kind {
+			case token.Ident:
+				t := p.next()
+				x = &ast.SelectExpr{X: x, Name: t.Text, Sp: x.Span().Union(t.Span)}
+			case token.Int:
+				t := p.next()
+				idx, err := strconv.Atoi(t.Text)
+				if err != nil {
+					p.errs.Errorf(t.Span, "invalid tuple index %q", t.Text)
+				}
+				x = &ast.ProjExpr{X: x, Index: idx, Sp: x.Span().Union(t.Span)}
+			default:
+				p.errs.Errorf(p.cur().Span, "expected field name or tuple index after '.'")
+				return x
+			}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseFieldInits(close token.Kind) []ast.FieldInit {
+	var fields []ast.FieldInit
+	for !p.at(close) && !p.at(token.EOF) {
+		name := p.expect(token.Ident)
+		p.expect(token.Assign)
+		x := p.parseExpr()
+		fields = append(fields, ast.FieldInit{Name: name.Text, X: x, Sp: name.Span.Union(x.Span())})
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	return fields
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Int:
+		t := p.cur()
+		v := p.parseIntLit()
+		return &ast.IntLit{Value: v, Text: t.Text, Sp: t.Span}
+	case token.KwTrue:
+		t := p.next()
+		return &ast.BoolLit{Value: true, Sp: t.Span}
+	case token.KwFalse:
+		t := p.next()
+		return &ast.BoolLit{Value: false, Sp: t.Span}
+	case token.Ident:
+		t := p.next()
+		if op, ok := ast.LookupIntrinsic(t.Text); ok {
+			return &ast.IntrinsicExpr{Op: op, Sp: t.Span}
+		}
+		return &ast.VarRef{Name: t.Text, Sp: t.Span}
+	case token.LParen:
+		start := p.next().Span
+		var elems []ast.Expr
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			elems = append(elems, p.parseExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		end := p.expect(token.RParen).Span
+		if len(elems) == 1 {
+			return elems[0] // plain parenthesization
+		}
+		return &ast.TupleExpr{Elems: elems, Sp: start.Union(end)}
+	case token.LBracket:
+		start := p.next().Span
+		fields := p.parseFieldInits(token.RBracket)
+		end := p.expect(token.RBracket).Span
+		return &ast.RecordExpr{Fields: fields, Sp: start.Union(end)}
+	case token.LBrace:
+		b := p.parseBlock()
+		return &ast.BlockExpr{B: b}
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwTry:
+		return p.parseTry()
+	case token.KwRaise:
+		return p.parseRaise()
+	case token.KwUnpack:
+		t := p.next()
+		p.expect(token.LBracket)
+		l := p.parseLayoutExpr()
+		p.expect(token.RBracket)
+		p.expect(token.LParen)
+		x := p.parseExpr()
+		end := p.expect(token.RParen).Span
+		return &ast.UnpackExpr{Layout: l, X: x, Sp: t.Span.Union(end)}
+	case token.KwPack:
+		t := p.next()
+		p.expect(token.LBracket)
+		l := p.parseLayoutExpr()
+		p.expect(token.RBracket)
+		start := p.expect(token.LBracket).Span
+		fields := p.parseFieldInits(token.RBracket)
+		end := p.expect(token.RBracket).Span
+		return &ast.PackExpr{Layout: l, Fields: fields, Sp: t.Span.Union(start).Union(end)}
+	default:
+		p.errs.Errorf(p.cur().Span, "expected expression, found %q", p.cur().Text)
+		t := p.next()
+		return &ast.IntLit{Value: 0, Text: "0", Sp: t.Span}
+	}
+}
+
+func (p *Parser) parseIf() ast.Expr {
+	start := p.expect(token.KwIf).Span
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	thenX := p.parseExpr()
+	e := &ast.IfExpr{Cond: cond, Then: thenX, Sp: start.Union(thenX.Span())}
+	if p.accept(token.KwElse) {
+		e.Else = p.parseExpr()
+		e.Sp = e.Sp.Union(e.Else.Span())
+	}
+	return e
+}
+
+func (p *Parser) parseTry() ast.Expr {
+	start := p.expect(token.KwTry).Span
+	body := p.parseBlock()
+	e := &ast.TryExpr{Body: body, Sp: start.Union(body.Sp)}
+	for p.at(token.KwHandle) {
+		h := p.parseHandler()
+		e.Handlers = append(e.Handlers, h)
+		e.Sp = e.Sp.Union(h.Sp)
+	}
+	if len(e.Handlers) == 0 {
+		p.errs.Errorf(e.Sp, "try block requires at least one handle clause")
+	}
+	return e
+}
+
+func (p *Parser) parseHandler() ast.Handler {
+	start := p.expect(token.KwHandle).Span
+	name := p.expect(token.Ident)
+	params, named := p.parseParams()
+	body := p.parseBlock()
+	return ast.Handler{Name: name.Text, Params: params, Named: named,
+		Body: body, Sp: start.Union(body.Sp)}
+}
+
+func (p *Parser) parseRaise() ast.Expr {
+	start := p.expect(token.KwRaise).Span
+	exn := p.parsePrimaryRef()
+	e := &ast.RaiseExpr{Exn: exn, Sp: start.Union(exn.Span())}
+	switch p.cur().Kind {
+	case token.LParen:
+		p.next()
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			e.Args = append(e.Args, p.parseExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		end := p.expect(token.RParen).Span
+		e.Sp = e.Sp.Union(end)
+	case token.LBracket:
+		p.next()
+		e.Named = true
+		e.Fields = p.parseFieldInits(token.RBracket)
+		end := p.expect(token.RBracket).Span
+		e.Sp = e.Sp.Union(end)
+	default:
+		p.errs.Errorf(p.cur().Span, "raise requires an argument list: (..) or [..]")
+	}
+	return e
+}
+
+// parsePrimaryRef parses the exception being raised: a bare name.
+func (p *Parser) parsePrimaryRef() ast.Expr {
+	t := p.expect(token.Ident)
+	return &ast.VarRef{Name: t.Text, Sp: t.Span}
+}

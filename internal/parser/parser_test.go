@@ -1,0 +1,314 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, errs := ParseString("test.nova", src)
+	if errs.HasErrors() {
+		t.Fatalf("parse errors:\n%v", errs)
+	}
+	return prog
+}
+
+func mustFail(t *testing.T, src string) {
+	t.Helper()
+	_, errs := ParseString("test.nova", src)
+	if !errs.HasErrors() {
+		t.Fatalf("expected parse errors for %q", src)
+	}
+}
+
+func TestLayoutDecl(t *testing.T) {
+	prog := mustParse(t, `
+layout ipv6_address = { a1 : 32, a2 : 32, a3 : 32, a4 : 32 };
+layout ipv6_header = {
+  version : 4, priority : 4, flow_label : 24,
+  payload_length : 16, next_header : 8, hop_limit : 8,
+  src_address : ipv6_address, dst_address : ipv6_address
+};`)
+	if len(prog.Decls) != 2 {
+		t.Fatalf("got %d decls, want 2", len(prog.Decls))
+	}
+	l1 := prog.Decls[0].(*ast.LayoutDecl)
+	if l1.Name != "ipv6_address" {
+		t.Fatalf("name = %q", l1.Name)
+	}
+	lit := l1.Body.(*ast.LayoutLit)
+	if len(lit.Fields) != 4 || lit.Fields[0].Bits != 32 {
+		t.Fatalf("fields = %+v", lit.Fields)
+	}
+	l2 := prog.Decls[1].(*ast.LayoutDecl)
+	f := l2.Body.(*ast.LayoutLit).Fields
+	if len(f) != 8 {
+		t.Fatalf("got %d header fields, want 8", len(f))
+	}
+	if sub, ok := f[6].Sub.(*ast.LayoutName); !ok || sub.Name != "ipv6_address" {
+		t.Fatalf("src_address sub = %+v", f[6].Sub)
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	prog := mustParse(t, `
+layout h = {
+  verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } },
+  flow_label : 24
+};`)
+	lit := prog.Decls[0].(*ast.LayoutDecl).Body.(*ast.LayoutLit)
+	ov := lit.Fields[0].Overlay
+	if len(ov) != 2 || ov[0].Name != "whole" || ov[0].Bits != 8 {
+		t.Fatalf("overlay = %+v", ov)
+	}
+	parts := ov[1].Sub.(*ast.LayoutLit)
+	if len(parts.Fields) != 2 || parts.Fields[0].Name != "version" {
+		t.Fatalf("parts = %+v", parts.Fields)
+	}
+}
+
+func TestLayoutConcatAndGap(t *testing.T) {
+	prog := mustParse(t, `
+layout lyt = { x : 16, y : 32, z : 8 };
+fun f(pdata: packed({16} ## lyt ## {24})) -> word {
+  let udata = unpack[{16} ## lyt ## {24}](pdata);
+  udata.x
+}`)
+	fd := prog.Decls[1].(*ast.FunDecl)
+	pt := fd.Params[0].Type.(*ast.PackedType)
+	cc, ok := pt.Layout.(*ast.LayoutConcat)
+	if !ok {
+		t.Fatalf("layout = %T", pt.Layout)
+	}
+	if _, ok := cc.R.(*ast.LayoutGap); !ok {
+		t.Fatalf("rightmost = %T, want gap", cc.R)
+	}
+}
+
+func TestFunAndCalls(t *testing.T) {
+	prog := mustParse(t, `
+fun add(a: word, b: word) -> word { a + b }
+fun g[x: word, k: exn()] -> word {
+  if (x == 0) raise k() else add(x, 1)
+}
+fun main() -> word { g[x = 4, k = K] }`)
+	if len(prog.Decls) != 3 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	g := prog.Decls[1].(*ast.FunDecl)
+	if !g.Named || len(g.Params) != 2 {
+		t.Fatalf("g params: named=%v n=%d", g.Named, len(g.Params))
+	}
+	if _, ok := g.Params[1].Type.(*ast.ExnType); !ok {
+		t.Fatalf("param k type = %T", g.Params[1].Type)
+	}
+	m := prog.Decls[2].(*ast.FunDecl)
+	call := m.Body.Result.(*ast.CallNamedExpr)
+	if len(call.Fields) != 2 || call.Fields[0].Name != "x" {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestTryHandle(t *testing.T) {
+	prog := mustParse(t, `
+fun f(a: word) -> word {
+  try {
+    if (a == 1) { raise X1 [b = 2, c = 3] };
+    g[x2 = X2, x1 = X1]
+  }
+  handle X1 [b: word, c: word] { b + c }
+  handle X2 () { 0 }
+}`)
+	f := prog.Decls[0].(*ast.FunDecl)
+	tr := f.Body.Result.(*ast.TryExpr)
+	if len(tr.Handlers) != 2 {
+		t.Fatalf("handlers = %d", len(tr.Handlers))
+	}
+	if tr.Handlers[0].Name != "X1" || !tr.Handlers[0].Named || len(tr.Handlers[0].Params) != 2 {
+		t.Fatalf("h0 = %+v", tr.Handlers[0])
+	}
+	if tr.Handlers[1].Named || len(tr.Handlers[1].Params) != 0 {
+		t.Fatalf("h1 = %+v", tr.Handlers[1])
+	}
+}
+
+func TestIntrinsicsAndStores(t *testing.T) {
+	prog := mustParse(t, `
+fun main() {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f, g2, h, i, j) = sram[6](200);
+  let u = a + c;
+  let v = g2 + h;
+  sram(300) <- (b, e, v, u);
+  sram(500) <- (f, j, d, i);
+  let x = hash(u);
+  let (q, _) = sdram[2](0x40);
+  scratch(12) <- x;
+  ctx_swap();
+}`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	if len(b.Stmts) != 10 {
+		t.Fatalf("stmts = %d", len(b.Stmts))
+	}
+	ld := b.Stmts[0].(*ast.LetStmt)
+	if len(ld.Names) != 4 {
+		t.Fatalf("names = %v", ld.Names)
+	}
+	in := ld.X.(*ast.IntrinsicExpr)
+	if in.Op != ast.OpSRAM || in.Size != 4 || len(in.Args) != 1 {
+		t.Fatalf("intrinsic = %+v", in)
+	}
+	st := b.Stmts[4].(*ast.StoreStmt)
+	if st.Op != ast.OpSRAM || len(st.Values) != 4 {
+		t.Fatalf("store = %+v", st)
+	}
+	sc := b.Stmts[8].(*ast.StoreStmt)
+	if sc.Op != ast.OpScratch || len(sc.Values) != 1 {
+		t.Fatalf("scratch store = %+v", sc)
+	}
+	if ld2 := b.Stmts[7].(*ast.LetStmt); ld2.Names[1] != "_" {
+		t.Fatalf("underscore binding = %v", ld2.Names)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := mustParse(t, `fun f(a: word, b: word, c: word) -> bool { a + b * c == a << 2 & 3 }`)
+	e := prog.Decls[0].(*ast.FunDecl).Body.Result.(*ast.BinaryExpr)
+	if e.Op != ast.OpEq {
+		t.Fatalf("top op = %v", e.Op)
+	}
+	l := e.L.(*ast.BinaryExpr)
+	if l.Op != ast.OpAdd {
+		t.Fatalf("left op = %v", l.Op)
+	}
+	if mul := l.R.(*ast.BinaryExpr); mul.Op != ast.OpMul {
+		t.Fatalf("a+(b*c) expected, got %v", mul.Op)
+	}
+	// & binds looser than <<: (a << 2) & 3
+	r := e.R.(*ast.BinaryExpr)
+	if r.Op != ast.OpAnd {
+		t.Fatalf("right op = %v", r.Op)
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	prog := mustParse(t, `
+layout h = { verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } }, rest : 24 };
+fun f(p: packed(h)) -> packed(h) {
+  let u = unpack[h](p);
+  if (u.verpri.parts.version == 6)
+    pack[h] [ verpri = [ whole = 0x60 ], rest = u.rest ]
+  else
+    p
+}`)
+	f := prog.Decls[1].(*ast.FunDecl)
+	iff := f.Body.Result.(*ast.IfExpr)
+	pk := iff.Then.(*ast.PackExpr)
+	if len(pk.Fields) != 2 {
+		t.Fatalf("pack fields = %+v", pk.Fields)
+	}
+	sel := iff.Cond.(*ast.BinaryExpr).L.(*ast.SelectExpr)
+	if sel.Name != "version" {
+		t.Fatalf("select = %+v", sel)
+	}
+}
+
+func TestWhileAndReturn(t *testing.T) {
+	prog := mustParse(t, `
+fun f(n: word) -> word {
+  let s = 0;
+  while (n > 0) {
+    if (n == 13) { return 99 };
+    let s = s + n;
+    let n = n - 1;
+  }
+  s
+}`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	w := b.Stmts[1].(*ast.WhileStmt)
+	if len(w.Body.Stmts) != 3 {
+		t.Fatalf("while body stmts = %d", len(w.Body.Stmts))
+	}
+	if _, ok := b.Result.(*ast.VarRef); !ok {
+		t.Fatalf("result = %T", b.Result)
+	}
+}
+
+func TestTupleAndProj(t *testing.T) {
+	prog := mustParse(t, `fun f() -> word { let t = (1, 2, 3); t.0 + t.2 }`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	add := b.Result.(*ast.BinaryExpr)
+	p0 := add.L.(*ast.ProjExpr)
+	if p0.Index != 0 {
+		t.Fatalf("index = %d", p0.Index)
+	}
+}
+
+func TestRecordExpr(t *testing.T) {
+	prog := mustParse(t, `fun f() -> word { let r = [x = 4, y = 3]; r.x }`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	let := b.Stmts[0].(*ast.LetStmt)
+	rec := let.X.(*ast.RecordExpr)
+	if len(rec.Fields) != 2 || rec.Fields[1].Name != "y" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`fun f( { }`,
+		`layout l = ;`,
+		`fun f() { let = 3; }`,
+		`fun f() { try { 1 } }`,       // try without handle
+		`fun f() { raise }`,           // raise without args
+		`fun f() { 1 + }`,             // missing operand
+		`fun f() { sram(1) <- }`,      // missing store values
+		`fun f() { hash(1) <- (2); }`, // non-writable intrinsic
+		`wibble`,                      // not a declaration
+		`fun f() { x.+ }`,             // bad selector
+	}
+	for _, src := range cases {
+		mustFail(t, src)
+	}
+}
+
+func TestConstDecl(t *testing.T) {
+	prog := mustParse(t, `let KEY0 = 0x2b7e1516; fun main() -> word { KEY0 }`)
+	c := prog.Decls[0].(*ast.ConstDecl)
+	if c.Name != "KEY0" {
+		t.Fatalf("const = %+v", c)
+	}
+	if c.X.(*ast.IntLit).Value != 0x2b7e1516 {
+		t.Fatalf("value = %#x", c.X.(*ast.IntLit).Value)
+	}
+}
+
+func TestNestedFun(t *testing.T) {
+	prog := mustParse(t, `
+fun outer(a: word) -> word {
+  fun inner(b: word) -> word { a + b }
+  inner(2)
+}`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	fs := b.Stmts[0].(*ast.FunStmt)
+	if fs.Fun.Name != "inner" {
+		t.Fatalf("nested fun = %q", fs.Fun.Name)
+	}
+}
+
+func TestStatementIfWithoutSemicolon(t *testing.T) {
+	prog := mustParse(t, `
+fun f(a: word) -> word {
+  if (a == 0) { sram(1) <- a } else { sram(2) <- a }
+  a + 1
+}`)
+	b := prog.Decls[0].(*ast.FunDecl).Body
+	if len(b.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(b.Stmts))
+	}
+	if _, ok := b.Result.(*ast.BinaryExpr); !ok {
+		t.Fatalf("result = %T", b.Result)
+	}
+}

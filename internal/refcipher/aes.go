@@ -1,0 +1,126 @@
+// Package refcipher provides reference implementations of the paper's
+// benchmark workloads — AES (Rijndael, §11), Kasumi (§11), and
+// IPv6-to-IPv4 NAT — used both as differential-test oracles for the
+// compiled Nova programs and as the source of the lookup tables the
+// host loads into the simulated memories.
+//
+// AES is the real FIPS-197 cipher: the S-box is computed from the
+// multiplicative inverse in GF(2^8) followed by the affine transform,
+// and the T-tables from the MixColumns coefficients, so no constant
+// tables need to be transcribed.
+package refcipher
+
+// gfMul multiplies in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv returns the multiplicative inverse (0 maps to 0).
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 by square-and-multiply.
+	result := byte(1)
+	base := a
+	e := 254
+	for e > 0 {
+		if e&1 != 0 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// Sbox is the AES substitution box.
+var Sbox [256]byte
+
+// Te are the four encryption T-tables (Te[0] is the canonical one;
+// Te[i] = Te[0] rotated right by 8i bits).
+var Te [4][256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		inv := gfInv(byte(i))
+		s := inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+		Sbox[i] = s
+	}
+	for i := 0; i < 256; i++ {
+		s := Sbox[i]
+		s2 := gfMul(s, 2)
+		s3 := gfMul(s, 3)
+		t := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		Te[0][i] = t
+		Te[1][i] = t>>8 | t<<24
+		Te[2][i] = t>>16 | t<<16
+		Te[3][i] = t>>24 | t<<8
+	}
+}
+
+// rcon returns the round constant for round i (1-based).
+func rcon(i int) uint32 {
+	c := byte(1)
+	for j := 1; j < i; j++ {
+		c = gfMul(c, 2)
+	}
+	return uint32(c) << 24
+}
+
+// ExpandKey128 computes the 44-word AES-128 key schedule.
+func ExpandKey128(key [4]uint32) [44]uint32 {
+	var w [44]uint32
+	copy(w[:4], key[:])
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = t<<8 | t>>24
+			t = uint32(Sbox[t>>24])<<24 | uint32(Sbox[t>>16&0xff])<<16 |
+				uint32(Sbox[t>>8&0xff])<<8 | uint32(Sbox[t&0xff])
+			t ^= rcon(i / 4)
+		}
+		w[i] = w[i-4] ^ t
+	}
+	return w
+}
+
+// EncryptBlock encrypts one 16-byte block (4 big-endian words) with
+// the expanded key.
+func EncryptBlock(w *[44]uint32, s [4]uint32) [4]uint32 {
+	s0 := s[0] ^ w[0]
+	s1 := s[1] ^ w[1]
+	s2 := s[2] ^ w[2]
+	s3 := s[3] ^ w[3]
+	for r := 1; r < 10; r++ {
+		t0 := Te[0][s0>>24] ^ Te[1][s1>>16&0xff] ^ Te[2][s2>>8&0xff] ^ Te[3][s3&0xff] ^ w[4*r]
+		t1 := Te[0][s1>>24] ^ Te[1][s2>>16&0xff] ^ Te[2][s3>>8&0xff] ^ Te[3][s0&0xff] ^ w[4*r+1]
+		t2 := Te[0][s2>>24] ^ Te[1][s3>>16&0xff] ^ Te[2][s0>>8&0xff] ^ Te[3][s1&0xff] ^ w[4*r+2]
+		t3 := Te[0][s3>>24] ^ Te[1][s0>>16&0xff] ^ Te[2][s1>>8&0xff] ^ Te[3][s2&0xff] ^ w[4*r+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	out0 := uint32(Sbox[s0>>24])<<24 | uint32(Sbox[s1>>16&0xff])<<16 |
+		uint32(Sbox[s2>>8&0xff])<<8 | uint32(Sbox[s3&0xff])
+	out1 := uint32(Sbox[s1>>24])<<24 | uint32(Sbox[s2>>16&0xff])<<16 |
+		uint32(Sbox[s3>>8&0xff])<<8 | uint32(Sbox[s0&0xff])
+	out2 := uint32(Sbox[s2>>24])<<24 | uint32(Sbox[s3>>16&0xff])<<16 |
+		uint32(Sbox[s0>>8&0xff])<<8 | uint32(Sbox[s1&0xff])
+	out3 := uint32(Sbox[s3>>24])<<24 | uint32(Sbox[s0>>16&0xff])<<16 |
+		uint32(Sbox[s1>>8&0xff])<<8 | uint32(Sbox[s2&0xff])
+	return [4]uint32{out0 ^ w[40], out1 ^ w[41], out2 ^ w[42], out3 ^ w[43]}
+}

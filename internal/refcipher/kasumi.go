@@ -1,0 +1,114 @@
+package refcipher
+
+// Kasumi (3GPP TS 35.202 structure). The Feistel network, FL/FO/FI
+// round functions, and the key schedule follow the specification; the
+// S7/S9 substitution tables are deterministic synthetic permutations
+// (documented substitution — the published constants are not
+// reproduced here; the compiler and simulator behaviour depend only on
+// the table-lookup structure, which is identical).
+
+// S7 is the 7-bit bijective substitution table.
+var S7 [128]uint16
+
+// S9 is the 9-bit bijective substitution table.
+var S9 [512]uint16
+
+func init() {
+	// Deterministic Fisher-Yates driven by a small LCG.
+	perm := func(n int) []uint16 {
+		out := make([]uint16, n)
+		for i := range out {
+			out[i] = uint16(i)
+		}
+		state := uint32(0x2545F491)
+		for i := n - 1; i > 0; i-- {
+			state = state*1664525 + 1013904223
+			j := int(state>>16) % (i + 1)
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+	copy(S7[:], perm(128))
+	copy(S9[:], perm(512))
+}
+
+// kasumiConst are the key-schedule constants C1..C8.
+var kasumiConst = [8]uint16{0x0123, 0x4567, 0x89AB, 0xCDEF, 0xFEDC, 0xBA98, 0x7654, 0x3210}
+
+func rotl16(x uint16, n uint) uint16 { return x<<n | x>>(16-n) }
+
+// KasumiSubkeys holds the per-round subkeys.
+type KasumiSubkeys struct {
+	KL1, KL2      [8]uint16
+	KO1, KO2, KO3 [8]uint16
+	KI1, KI2, KI3 [8]uint16
+}
+
+// KasumiKeySchedule derives the subkeys from a 128-bit key given as
+// eight 16-bit words K1..K8.
+func KasumiKeySchedule(k [8]uint16) *KasumiSubkeys {
+	var kp [8]uint16
+	for i := range kp {
+		kp[i] = k[i] ^ kasumiConst[i]
+	}
+	at := func(arr [8]uint16, i, off int) uint16 { return arr[(i+off)%8] }
+	s := &KasumiSubkeys{}
+	for i := 0; i < 8; i++ {
+		s.KL1[i] = rotl16(at(k, i, 0), 1)
+		s.KL2[i] = at(kp, i, 2)
+		s.KO1[i] = rotl16(at(k, i, 1), 5)
+		s.KO2[i] = rotl16(at(k, i, 5), 8)
+		s.KO3[i] = rotl16(at(k, i, 6), 13)
+		s.KI1[i] = at(kp, i, 4)
+		s.KI2[i] = at(kp, i, 3)
+		s.KI3[i] = at(kp, i, 7)
+	}
+	return s
+}
+
+// kasumiFI is the 16-bit nonlinear function.
+func kasumiFI(in, ki uint16) uint16 {
+	l := in >> 7      // 9 bits
+	r := in & 0x7f    // 7 bits
+	ki1 := ki >> 9    // 7 bits
+	ki2 := ki & 0x1ff // 9 bits
+	l, r = r, S9[l]^r // R1 = S9[L0] ^ ZE(R0); L1 = R0
+	l, r = r^ki2, S7[l]^(r&0x7f)^ki1
+	l, r = r, S9[l]^r
+	l = S7[l] ^ (r & 0x7f)
+	return l<<9 | r
+}
+
+// kasumiFO is the 32-bit Feistel-like function of three FI rounds.
+func kasumiFO(in uint32, i int, s *KasumiSubkeys) uint32 {
+	l := uint16(in >> 16)
+	r := uint16(in)
+	l, r = r, kasumiFI(l^s.KO1[i], s.KI1[i])^r
+	l, r = r, kasumiFI(l^s.KO2[i], s.KI2[i])^r
+	l, r = r, kasumiFI(l^s.KO3[i], s.KI3[i])^r
+	return uint32(l)<<16 | uint32(r)
+}
+
+// kasumiFL mixes with the linear key material.
+func kasumiFL(in uint32, i int, s *KasumiSubkeys) uint32 {
+	l := uint16(in >> 16)
+	r := uint16(in)
+	r ^= rotl16(l&s.KL1[i], 1)
+	l ^= rotl16(r|s.KL2[i], 1)
+	return uint32(l)<<16 | uint32(r)
+}
+
+// KasumiEncrypt encrypts one 64-bit block given as two 32-bit words.
+func KasumiEncrypt(s *KasumiSubkeys, hi, lo uint32) (uint32, uint32) {
+	l, r := hi, lo
+	for i := 0; i < 8; i++ {
+		var f uint32
+		if i%2 == 0 { // odd rounds in 1-based numbering
+			f = kasumiFO(kasumiFL(l, i, s), i, s)
+		} else {
+			f = kasumiFL(kasumiFO(l, i, s), i, s)
+		}
+		l, r = r^f, l
+	}
+	return l, r
+}

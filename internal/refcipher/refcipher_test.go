@@ -1,0 +1,112 @@
+package refcipher
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFIPS197Vector checks the official AES-128 example: FIPS-197
+// Appendix C.1.
+func TestFIPS197Vector(t *testing.T) {
+	key := [4]uint32{0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f}
+	pt := [4]uint32{0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff}
+	w := ExpandKey128(key)
+	ct := EncryptBlock(&w, pt)
+	want := [4]uint32{0x69c4e0d8, 0x6a7b0430, 0xd8cdb780, 0x70b4c55a}
+	if ct != want {
+		t.Fatalf("AES-128 = %08x, want %08x", ct, want)
+	}
+}
+
+func TestSboxIsPermutation(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, s := range Sbox {
+		if seen[s] {
+			t.Fatalf("S-box value %#x repeated", s)
+		}
+		seen[s] = true
+	}
+	// Known anchor values.
+	if Sbox[0x00] != 0x63 || Sbox[0x01] != 0x7c || Sbox[0x53] != 0xed {
+		t.Fatalf("S-box anchors wrong: %#x %#x %#x", Sbox[0], Sbox[1], Sbox[0x53])
+	}
+}
+
+func TestTeTablesConsistent(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		t0 := Te[0][i]
+		if Te[1][i] != (t0>>8 | t0<<24) {
+			t.Fatalf("Te1[%d] inconsistent", i)
+		}
+		if Te[3][i] != (t0>>24 | t0<<8) {
+			t.Fatalf("Te3[%d] inconsistent", i)
+		}
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv(%#x) wrong", a)
+		}
+	}
+}
+
+func TestKasumiTablesArePermutations(t *testing.T) {
+	seen7 := map[uint16]bool{}
+	for _, v := range S7 {
+		if v >= 128 || seen7[v] {
+			t.Fatalf("S7 not a 7-bit permutation")
+		}
+		seen7[v] = true
+	}
+	seen9 := map[uint16]bool{}
+	for _, v := range S9 {
+		if v >= 512 || seen9[v] {
+			t.Fatalf("S9 not a 9-bit permutation")
+		}
+		seen9[v] = true
+	}
+}
+
+func TestKasumiDeterministic(t *testing.T) {
+	key := [8]uint16{0x0011, 0x2233, 0x4455, 0x6677, 0x8899, 0xaabb, 0xccdd, 0xeeff}
+	s := KasumiKeySchedule(key)
+	h1, l1 := KasumiEncrypt(s, 0x01234567, 0x89abcdef)
+	h2, l2 := KasumiEncrypt(s, 0x01234567, 0x89abcdef)
+	if h1 != h2 || l1 != l2 {
+		t.Fatal("non-deterministic")
+	}
+	if h1 == 0x01234567 && l1 == 0x89abcdef {
+		t.Fatal("identity encryption")
+	}
+}
+
+// Property: changing any key word changes the Kasumi ciphertext
+// (a weak avalanche check appropriate for a structural reproduction).
+func TestKasumiKeySensitivity(t *testing.T) {
+	f := func(seed uint16, idx uint8) bool {
+		key := [8]uint16{1, 2, 3, 4, 5, 6, 7, 8}
+		s1 := KasumiKeySchedule(key)
+		key[idx%8] ^= seed | 1
+		s2 := KasumiKeySchedule(key)
+		h1, l1 := KasumiEncrypt(s1, 0xdeadbeef, 0xcafebabe)
+		h2, l2 := KasumiEncrypt(s2, 0xdeadbeef, 0xcafebabe)
+		return h1 != h2 || l1 != l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKasumiFIInvertibleStructure(t *testing.T) {
+	// FI must be a bijection of its 16-bit input for fixed key.
+	seen := map[uint16]bool{}
+	for x := 0; x < 1<<16; x++ {
+		y := kasumiFI(uint16(x), 0x1234)
+		if seen[y] {
+			t.Fatalf("FI collision at %#x", x)
+		}
+		seen[y] = true
+	}
+}

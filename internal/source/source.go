@@ -1,0 +1,219 @@
+// Package source provides source-file bookkeeping for the Nova compiler:
+// positions, spans, line mapping, and diagnostics with source excerpts.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a byte offset into a File's contents. The zero Pos is "unknown".
+type Pos int
+
+// NoPos marks an unknown position.
+const NoPos Pos = 0
+
+// IsValid reports whether p refers to an actual location.
+func (p Pos) IsValid() bool { return p > NoPos }
+
+// Span is a half-open byte range [Start, End) within one file.
+type Span struct {
+	Start, End Pos
+}
+
+// MakeSpan builds a span, normalizing an inverted range.
+func MakeSpan(start, end Pos) Span {
+	if end < start {
+		start, end = end, start
+	}
+	return Span{Start: start, End: end}
+}
+
+// Union returns the smallest span covering both s and t.
+// An invalid span is the identity element.
+func (s Span) Union(t Span) Span {
+	if !s.Start.IsValid() {
+		return t
+	}
+	if !t.Start.IsValid() {
+		return s
+	}
+	u := s
+	if t.Start < u.Start {
+		u.Start = t.Start
+	}
+	if t.End > u.End {
+		u.End = t.End
+	}
+	return u
+}
+
+// IsValid reports whether the span covers an actual region.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+// File holds the contents of one Nova source file together with a
+// precomputed table of line offsets so byte positions can be mapped to
+// line/column pairs in O(log n).
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line, lines[0] == 0
+}
+
+// NewFile records content under name. Positions handed to the File are
+// 1-based byte offsets (offset+1), so Pos 1 denotes the first byte; this
+// keeps the zero Pos free to mean "unknown".
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Pos converts a byte offset into the file to a Pos.
+func (f *File) Pos(offset int) Pos { return Pos(offset + 1) }
+
+// Offset converts a Pos back to a byte offset.
+func (f *File) Offset(p Pos) int { return int(p) - 1 }
+
+// Location is a human-readable place in a file.
+type Location struct {
+	Name string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (l Location) String() string {
+	if l.Name == "" {
+		return fmt.Sprintf("%d:%d", l.Line, l.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", l.Name, l.Line, l.Col)
+}
+
+// Locate maps a Pos to its Location. Invalid positions map to line 0.
+func (f *File) Locate(p Pos) Location {
+	if !p.IsValid() {
+		return Location{Name: f.Name}
+	}
+	off := f.Offset(p)
+	i := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > off }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return Location{Name: f.Name, Line: i + 1, Col: off - f.lines[i] + 1}
+}
+
+// Line returns the text of the 1-based line number, without the newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	Error Severity = iota
+	Warning
+	Note
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// Diagnostic is one compiler message anchored at a span.
+type Diagnostic struct {
+	Severity Severity
+	Span     Span
+	Message  string
+}
+
+// ErrorList accumulates diagnostics for a single file.
+type ErrorList struct {
+	File  *File
+	Diags []Diagnostic
+}
+
+// NewErrorList returns an empty list for f.
+func NewErrorList(f *File) *ErrorList { return &ErrorList{File: f} }
+
+// Errorf records an error at span.
+func (l *ErrorList) Errorf(span Span, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Error, span, fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a warning at span.
+func (l *ErrorList) Warnf(span Span, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Warning, span, fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any Error-severity diagnostic was recorded.
+func (l *ErrorList) HasErrors() bool {
+	for _, d := range l.Diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the list as an error, or nil if no errors were recorded.
+func (l *ErrorList) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	return l
+}
+
+// Error renders every diagnostic, one per line, with a source excerpt.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, d := range l.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(l.Format(d))
+	}
+	return b.String()
+}
+
+// Format renders one diagnostic with its source line and a caret marker.
+func (l *ErrorList) Format(d Diagnostic) string {
+	loc := l.File.Locate(d.Span.Start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s: %s", loc, d.Severity, d.Message)
+	if line := l.File.Line(loc.Line); line != "" && loc.Col >= 1 && loc.Col <= len(line)+1 {
+		b.WriteString("\n  ")
+		b.WriteString(line)
+		b.WriteString("\n  ")
+		for i := 1; i < loc.Col; i++ {
+			if line[i-1] == '\t' {
+				b.WriteByte('\t')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('^')
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocate(t *testing.T) {
+	f := NewFile("t.nova", "abc\ndef\n\nghi")
+	cases := []struct {
+		off  int
+		line int
+		col  int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 1, 4}, {4, 2, 1}, {7, 2, 4},
+		{8, 3, 1}, {9, 4, 1}, {11, 4, 3},
+	}
+	for _, c := range cases {
+		loc := f.Locate(f.Pos(c.off))
+		if loc.Line != c.line || loc.Col != c.col {
+			t.Errorf("Locate(%d) = %d:%d, want %d:%d", c.off, loc.Line, loc.Col, c.line, c.col)
+		}
+	}
+	if got := f.Locate(NoPos); got.Line != 0 {
+		t.Errorf("NoPos located at %v", got)
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := NewFile("t", "first\nsecond\nthird")
+	if f.Line(1) != "first" || f.Line(2) != "second" || f.Line(3) != "third" {
+		t.Fatalf("lines: %q %q %q", f.Line(1), f.Line(2), f.Line(3))
+	}
+	if f.Line(0) != "" || f.Line(4) != "" {
+		t.Fatal("out-of-range lines must be empty")
+	}
+}
+
+func TestSpanUnion(t *testing.T) {
+	a := MakeSpan(5, 10)
+	b := MakeSpan(8, 20)
+	u := a.Union(b)
+	if u.Start != 5 || u.End != 20 {
+		t.Fatalf("union = %+v", u)
+	}
+	if got := (Span{}).Union(a); got != a {
+		t.Fatalf("identity union = %+v", got)
+	}
+	if inv := MakeSpan(9, 3); inv.Start != 3 || inv.End != 9 {
+		t.Fatalf("inverted span not normalized: %+v", inv)
+	}
+}
+
+func TestDiagnosticsRendering(t *testing.T) {
+	f := NewFile("x.nova", "let a = $;\n")
+	l := NewErrorList(f)
+	l.Errorf(MakeSpan(f.Pos(8), f.Pos(9)), "unexpected character %q", '$')
+	if !l.HasErrors() {
+		t.Fatal("no errors recorded")
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "x.nova:1:9") {
+		t.Errorf("missing location in %q", msg)
+	}
+	if !strings.Contains(msg, "let a = $;") || !strings.Contains(msg, "^") {
+		t.Errorf("missing excerpt/caret in %q", msg)
+	}
+	l2 := NewErrorList(f)
+	l2.Warnf(MakeSpan(f.Pos(0), f.Pos(3)), "just a warning")
+	if l2.HasErrors() || l2.Err() != nil {
+		t.Fatal("warnings must not count as errors")
+	}
+}
+
+// Property: for any content and any valid offset, Locate is consistent
+// with counting newlines by hand.
+func TestLocateProperty(t *testing.T) {
+	check := func(content string, off uint16) bool {
+		f := NewFile("p", content)
+		o := int(off)
+		if o >= len(content) {
+			if len(content) == 0 {
+				return true
+			}
+			o = int(off) % len(content)
+		}
+		loc := f.Locate(f.Pos(o))
+		line := 1 + strings.Count(content[:o], "\n")
+		lastNL := strings.LastIndex(content[:o], "\n")
+		col := o - lastNL // works for lastNL == -1 too
+		return loc.Line == line && loc.Col == col
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTabCaretAlignment(t *testing.T) {
+	f := NewFile("t", "\tfoo bar\n")
+	l := NewErrorList(f)
+	l.Errorf(MakeSpan(f.Pos(5), f.Pos(8)), "boom")
+	msg := l.Format(l.Diags[0])
+	// The caret line must reuse a tab so the caret lines up under "bar".
+	lines := strings.Split(msg, "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[2], "  \t") {
+		t.Fatalf("caret line does not preserve tabs: %q", msg)
+	}
+}

@@ -1,0 +1,214 @@
+// Package ssu implements the static single use transform of §4.5/§10:
+// just before instruction selection, the program is rewritten so that
+// any use of a variable as an operand of a memory-write operation
+// (including the write-side operands of hash, bit-test-set, and CSR
+// writes) is the only non-clone use of that variable in the program.
+//
+// SSU is the dual of SSA, with cloning playing the role of phi-nodes:
+// clone is semantically a copy, but clones of the same variable do not
+// interfere, so the ILP allocator may keep them in one register and
+// only pay for a physical copy where the solution actually splits them
+// (§10). Without SSU, conflicting color constraints on the write side
+// could make the coloring problem infeasible (§9, item 4).
+//
+// The analysis is whole-program: continuations freely reference
+// variables bound in other continuations, so use counts and clone
+// insertion must look across function boundaries.
+package ssu
+
+import (
+	"sort"
+
+	"repro/internal/cps"
+)
+
+// Stats reports the transform's effect.
+type Stats struct {
+	Clones int // clone instructions inserted
+}
+
+// writeOperands returns pointers to the value slots of t that are
+// write-side operands (sourced from the S or SD transfer banks).
+func writeOperands(t cps.Term) []*cps.Value {
+	switch t := t.(type) {
+	case *cps.MemWrite:
+		out := make([]*cps.Value, len(t.Srcs))
+		for i := range t.Srcs {
+			out[i] = &t.Srcs[i]
+		}
+		return out
+	case *cps.Special:
+		switch t.Kind {
+		case cps.SpecHash:
+			return []*cps.Value{&t.Args[0]}
+		case cps.SpecBTS:
+			return []*cps.Value{&t.Args[1]}
+		case cps.SpecCSRWrite:
+			return []*cps.Value{&t.Args[1]}
+		}
+	}
+	return nil
+}
+
+// dupOperands returns the second slot of any ALU or branch operand
+// pair that names the same variable twice: the machine cannot feed one
+// register into both operand ports (each of A, B, L∪LD supplies at
+// most one operand), so a clone must split them.
+func dupOperands(t cps.Term) []*cps.Value {
+	switch t := t.(type) {
+	case *cps.Arith:
+		if lv, ok := t.L.(cps.Var); ok {
+			if rv, ok := t.R.(cps.Var); ok && lv == rv {
+				return []*cps.Value{&t.R}
+			}
+		}
+	case *cps.If:
+		if lv, ok := t.L.(cps.Var); ok {
+			if rv, ok := t.R.(cps.Var); ok && lv == rv {
+				return []*cps.Value{&t.R}
+			}
+		}
+	}
+	return nil
+}
+
+// Transform rewrites p into SSU form in place.
+func Transform(p *cps.Program) *Stats {
+	st := &Stats{}
+
+	// Whole-program analysis: non-clone use counts, write and
+	// duplicate-operand occurrences, and each variable's defining
+	// function (for clone insertion).
+	uses := map[cps.Var]int{}
+	var writeOccs, dupOccs []*cps.Value
+	defFun := map[cps.Var]cps.Label{} // where the var is bound (def or param)
+
+	var labels []cps.Label
+	for l := range p.Funs {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	for _, l := range labels {
+		f := p.Funs[l]
+		for _, pv := range f.Params {
+			defFun[pv] = l
+		}
+		var walk func(t cps.Term)
+		walk = func(t cps.Term) {
+			if t == nil {
+				return
+			}
+			for _, d := range cps.Defs(t) {
+				defFun[d] = l
+			}
+			writeOccs = append(writeOccs, writeOperands(t)...)
+			dupOccs = append(dupOccs, dupOperands(t)...)
+			if _, isClone := t.(*cps.Clone); !isClone {
+				for _, v := range cps.Uses(t) {
+					if vv, ok := v.(cps.Var); ok {
+						uses[vv]++
+					}
+				}
+			}
+			if iff, ok := t.(*cps.If); ok {
+				walk(iff.Then)
+				walk(iff.Else)
+				return
+			}
+			walk(cps.Cont(t))
+		}
+		walk(f.Body)
+	}
+
+	// Decide which occurrences need clones. A write occurrence keeps
+	// the original only when it is the variable's sole non-clone use,
+	// or when every use is a write and it is the first such occurrence.
+	needed := map[cps.Var][]*cps.Value{}
+	kept := map[cps.Var]bool{}
+	for _, slot := range dupOccs {
+		if v, ok := (*slot).(cps.Var); ok {
+			needed[v] = append(needed[v], slot)
+		}
+	}
+	for _, slot := range writeOccs {
+		v, ok := (*slot).(cps.Var)
+		if !ok {
+			continue
+		}
+		if uses[v] == 1 {
+			continue // already single-use
+		}
+		if !kept[v] && onlyWrites(v, uses[v], writeOccs) {
+			kept[v] = true
+			continue
+		}
+		needed[v] = append(needed[v], slot)
+	}
+	if len(needed) == 0 {
+		return st
+	}
+
+	// Allocate clones and substitute the occurrences.
+	cloneChains := map[cps.Var][]cps.Var{}
+	var vars []cps.Var
+	for v := range needed {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		for _, slot := range needed[v] {
+			c := p.NewVar(p.VarName(v) + "'")
+			cloneChains[v] = append(cloneChains[v], c)
+			*slot = c
+			st.Clones++
+		}
+	}
+
+	// Insert the clone bindings immediately after each variable's
+	// definition (or at the top of its binding function for
+	// parameters), so original and clones start out in the same
+	// register (§10).
+	for _, l := range labels {
+		f := p.Funs[l]
+		var rewrite func(t cps.Term) cps.Term
+		rewrite = func(t cps.Term) cps.Term {
+			switch tt := t.(type) {
+			case *cps.If:
+				tt.Then = rewrite(tt.Then)
+				tt.Else = rewrite(tt.Else)
+				return tt
+			case *cps.App, *cps.Halt:
+				return t
+			}
+			k := rewrite(cps.Cont(t))
+			for _, d := range cps.Defs(t) {
+				for i := len(cloneChains[d]) - 1; i >= 0; i-- {
+					k = &cps.Clone{Src: d, Dst: cloneChains[d][i], K: k}
+				}
+			}
+			cps.SetCont(t, k)
+			return t
+		}
+		body := rewrite(f.Body)
+		for _, v := range f.Params {
+			for i := len(cloneChains[v]) - 1; i >= 0; i-- {
+				body = &cps.Clone{Src: v, Dst: cloneChains[v][i], K: body}
+			}
+		}
+		f.Body = body
+	}
+	return st
+}
+
+// onlyWrites reports whether all of v's non-clone uses are write
+// occurrences.
+func onlyWrites(v cps.Var, total int, writeOccs []*cps.Value) bool {
+	n := 0
+	for _, slot := range writeOccs {
+		if vv, ok := (*slot).(cps.Var); ok && vv == v {
+			n++
+		}
+	}
+	return n == total
+}

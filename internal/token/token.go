@@ -1,0 +1,189 @@
+// Package token defines the lexical tokens of the Nova language.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keyword kinds sit between keywordBeg and keywordEnd.
+const (
+	Invalid Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident  // fooBar
+	Int    // 123, 0x7f
+	String // "..."
+
+	// Punctuation.
+	LParen     // (
+	RParen     // )
+	LBrace     // {
+	RBrace     // }
+	LBracket   // [
+	RBracket   // ]
+	Comma      // ,
+	Semi       // ;
+	Colon      // :
+	Dot        // .
+	Arrow      // ->
+	LArrow     // <-
+	HashHash   // ##
+	Assign     // =
+	Bar        // |
+	AndAnd     // &&
+	OrOr       // ||
+	Not        // !
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Caret      // ^
+	Tilde      // ~
+	Shl        // <<
+	Shr        // >>
+	Eq         // ==
+	Ne         // !=
+	Lt         // <
+	Gt         // >
+	Le         // <=
+	Ge         // >=
+	Underscore // _
+
+	keywordBeg
+	KwLayout
+	KwOverlay
+	KwFun
+	KwLet
+	KwIf
+	KwElse
+	KwWhile
+	KwTry
+	KwHandle
+	KwRaise
+	KwPack
+	KwUnpack
+	KwTrue
+	KwFalse
+	KwWord
+	KwBool
+	KwPacked
+	KwUnpacked
+	KwExn
+	KwReturn
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	Invalid:    "invalid",
+	EOF:        "EOF",
+	Ident:      "identifier",
+	Int:        "integer",
+	String:     "string",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	Colon:      ":",
+	Dot:        ".",
+	Arrow:      "->",
+	LArrow:     "<-",
+	HashHash:   "##",
+	Assign:     "=",
+	Bar:        "|",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Amp:        "&",
+	Caret:      "^",
+	Tilde:      "~",
+	Shl:        "<<",
+	Shr:        ">>",
+	Eq:         "==",
+	Ne:         "!=",
+	Lt:         "<",
+	Gt:         ">",
+	Le:         "<=",
+	Ge:         ">=",
+	Underscore: "_",
+	KwLayout:   "layout",
+	KwOverlay:  "overlay",
+	KwFun:      "fun",
+	KwLet:      "let",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwTry:      "try",
+	KwHandle:   "handle",
+	KwRaise:    "raise",
+	KwPack:     "pack",
+	KwUnpack:   "unpack",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwWord:     "word",
+	KwBool:     "bool",
+	KwPacked:   "packed",
+	KwUnpacked: "unpacked",
+	KwExn:      "exn",
+	KwReturn:   "return",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or Ident.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Prec returns the binary-operator precedence of k (higher binds tighter),
+// or 0 if k is not a binary operator.
+func (k Kind) Prec() int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, Ne, Lt, Gt, Le, Ge:
+		return 3
+	case Amp, Bar, Caret:
+		return 4
+	case Shl, Shr:
+		return 5
+	case Plus, Minus:
+		return 6
+	case Star, Slash, Percent:
+		return 7
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		want Kind
+	}{
+		{"layout", KwLayout}, {"fun", KwFun}, {"let", KwLet}, {"if", KwIf},
+		{"while", KwWhile}, {"try", KwTry}, {"handle", KwHandle},
+		{"raise", KwRaise}, {"pack", KwPack}, {"unpack", KwUnpack},
+		{"overlay", KwOverlay}, {"word", KwWord}, {"bool", KwBool},
+		{"packed", KwPacked}, {"unpacked", KwUnpacked}, {"exn", KwExn},
+		{"true", KwTrue}, {"false", KwFalse}, {"return", KwReturn},
+		{"foo", Ident}, {"Layout", Ident}, {"sram", Ident},
+	} {
+		if got := Lookup(tc.text); got != tc.want {
+			t.Errorf("Lookup(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestKeywordPredicate(t *testing.T) {
+	if !KwLayout.IsKeyword() || !KwReturn.IsKeyword() {
+		t.Error("keywords not recognized")
+	}
+	for _, k := range []Kind{Ident, Int, LParen, EOF, Plus} {
+		if k.IsKeyword() {
+			t.Errorf("%v wrongly a keyword", k)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// || < && < comparisons < bitwise < shifts < additive < multiplicative
+	chain := []Kind{OrOr, AndAnd, Eq, Amp, Shl, Plus, Star}
+	for i := 0; i+1 < len(chain); i++ {
+		if chain[i].Prec() >= chain[i+1].Prec() {
+			t.Errorf("%v (prec %d) should bind looser than %v (prec %d)",
+				chain[i], chain[i].Prec(), chain[i+1], chain[i+1].Prec())
+		}
+	}
+	if LParen.Prec() != 0 || Ident.Prec() != 0 {
+		t.Error("non-operators must have precedence 0")
+	}
+	// All six comparisons share one level.
+	for _, k := range []Kind{Ne, Lt, Gt, Le, Ge} {
+		if k.Prec() != Eq.Prec() {
+			t.Errorf("%v precedence differs from ==", k)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if KwLayout.String() != "layout" || HashHash.String() != "##" || LArrow.String() != "<-" {
+		t.Error("token names wrong")
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kinds need a fallback rendering")
+	}
+}

@@ -1,0 +1,320 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+func check(t *testing.T, src string) (*Info, *source.ErrorList) {
+	t.Helper()
+	f := source.NewFile("t.nova", src)
+	errs := source.NewErrorList(f)
+	prog := parser.Parse(f, errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := Check(prog, errs)
+	return info, errs
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, errs := check(t, src)
+	if errs.HasErrors() {
+		t.Fatalf("check: %v", errs)
+	}
+	return info
+}
+
+func mustFailWith(t *testing.T, src, frag string) {
+	t.Helper()
+	_, errs := check(t, src)
+	if !errs.HasErrors() {
+		t.Fatalf("expected type error containing %q", frag)
+	}
+	if !strings.Contains(errs.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", errs.Error(), frag)
+	}
+}
+
+func TestSimpleFun(t *testing.T) {
+	info := mustCheck(t, `fun add(a: word, b: word) -> word { a + b }`)
+	fd := info.Program.Decls[0].(*ast.FunDecl)
+	res := info.TypeOf(fd.Body.Result)
+	if !Equal(res, Word{}) {
+		t.Fatalf("result type = %s", res)
+	}
+}
+
+func TestPackedSynonym(t *testing.T) {
+	// packed(ipv6_header) is a synonym for word[10] (paper §3.2).
+	info := mustCheck(t, `
+layout ipv6_address = { a1:32, a2:32, a3:32, a4:32 };
+layout ipv6_header = {
+  version:4, priority:4, flow_label:24, payload_length:16,
+  next_header:8, hop_limit:8,
+  src_address: ipv6_address, dst_address: ipv6_address
+};
+fun f(p: packed(ipv6_header)) -> word[10] { p }`)
+	l := info.LayoutEnv["ipv6_header"]
+	if !Equal(Packed{L: l}, WordTuple(10)) {
+		t.Fatal("packed(ipv6_header) != word[10]")
+	}
+}
+
+func TestUnpackedRecordStructure(t *testing.T) {
+	info := mustCheck(t, `
+layout h = {
+  verpri : overlay { whole : 8 | parts : { version:4, priority:4 } },
+  flow : 24
+};
+fun f(p: packed(h)) -> word {
+  let u = unpack[h](p);
+  u.verpri.parts.version + u.verpri.whole + u.flow
+}`)
+	rec := UnpackedRecord(info.LayoutEnv["h"])
+	if len(rec.Fields) != 2 || rec.Fields[0].Name != "verpri" {
+		t.Fatalf("record = %s", rec)
+	}
+	vp := rec.Fields[0].Type.(Record)
+	if len(vp.Fields) != 2 || vp.Fields[0].Name != "whole" || vp.Fields[1].Name != "parts" {
+		t.Fatalf("verpri = %s", vp)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	rec := Record{Fields: []Field{
+		{Name: "a", Type: Word{}},
+		{Name: "b", Type: Tuple{Elems: []Type{Word{}, Word{}}}},
+	}}
+	leaves := Flatten(rec)
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %+v", leaves)
+	}
+	if leaves[1].Path != "b.0" || leaves[2].Path != "b.1" {
+		t.Fatalf("paths = %q %q", leaves[1].Path, leaves[2].Path)
+	}
+	if WordCount(rec) != 3 {
+		t.Fatalf("wordcount = %d", WordCount(rec))
+	}
+}
+
+func TestTailRecursionAccepted(t *testing.T) {
+	mustCheck(t, `
+fun loop(n: word, acc: word) -> word {
+  if (n == 0) acc else loop(n - 1, acc + n)
+}`)
+}
+
+func TestNonTailRecursionRejected(t *testing.T) {
+	mustFailWith(t, `
+fun bad(n: word) -> word {
+  if (n == 0) 0 else 1 + bad(n - 1)
+}`, "not in tail position")
+}
+
+func TestMutualTailRecursion(t *testing.T) {
+	mustCheck(t, `
+fun main(n: word) -> word {
+  fun even(k: word) -> word { if (k == 0) 1 else odd(k - 1) }
+  fun odd(k: word) -> word { if (k == 0) 0 else even(k - 1) }
+  even(n)
+}`)
+}
+
+func TestMutualNonTailRejected(t *testing.T) {
+	mustFailWith(t, `
+fun main(n: word) -> word {
+  fun f(k: word) -> word { if (k == 0) 1 else g(k - 1) + 1 }
+  fun g(k: word) -> word { if (k == 0) 0 else f(k - 1) }
+  f(n)
+}`, "not in tail position")
+}
+
+func TestExceptionScoping(t *testing.T) {
+	mustCheck(t, `
+fun g[v: word, x1: exn[b: word, c: word], x2: exn()] -> word {
+  if (v == 1) raise x2()
+  else if (v == 2) raise x1[b = 1, c = 2]
+  else v
+}
+fun f(a: word) -> word {
+  try {
+    if (a == 1) { raise X1 [b = 2, c = 3] };
+    g[v = a, x2 = X2, x1 = X1]
+  }
+  handle X1 [b: word, c: word] { b + c }
+  handle X2 () { 0 }
+}`)
+}
+
+func TestRaiseArgMismatch(t *testing.T) {
+	mustFailWith(t, `
+fun f(a: word) -> word {
+  try { raise X1 [b = 1] }
+  handle X1 [b: word, c: word] { b + c }
+}`, "missing argument")
+}
+
+func TestUndefinedName(t *testing.T) {
+	mustFailWith(t, `fun f() -> word { nosuch }`, "undefined name")
+}
+
+func TestCondMustBeBool(t *testing.T) {
+	mustFailWith(t, `fun f(a: word) -> word { if (a) 1 else 2 }`, "if condition")
+}
+
+func TestBranchTypesMustAgree(t *testing.T) {
+	mustFailWith(t, `fun f(a: word) -> word { if (a == 0) 1 else (1, 2) }`, "if branches")
+}
+
+func TestRaiseUnifiesWithAnything(t *testing.T) {
+	mustCheck(t, `
+fun f(a: word) -> word {
+  try {
+    if (a == 0) raise X() else a + 1
+  } handle X () { 0 }
+}`)
+}
+
+func TestIntrinsics(t *testing.T) {
+	info := mustCheck(t, `
+fun main() -> word {
+  let (a, b, c, d) = sram[4](100);
+  let (e0, e1) = sdram[2](0x80);
+  let s = scratch[1](4);
+  let h = hash(a);
+  let old = sram_bts(200, b);
+  sram(300) <- (a, b, c, d);
+  sdram(0x100) <- (e0, e1);
+  a + e0 + s + h + old
+}`)
+	_ = info
+}
+
+func TestSDRAMOddSizeRejected(t *testing.T) {
+	mustFailWith(t, `fun f() -> word { let (a, b, c) = sdram[3](0); a }`, "must be 2, 4, 6, or 8")
+}
+
+func TestAggregateTooBig(t *testing.T) {
+	mustFailWith(t, `fun f() { sram(0) <- (1,2,3,4,5,6,7,8,9); }`, "out of range 1..8")
+}
+
+func TestStoreWholeTuple(t *testing.T) {
+	// A word-tuple value may be stored directly; it flattens to words.
+	mustCheck(t, `
+fun f(p: word[4]) {
+  sram(0) <- p;
+}`)
+}
+
+func TestDestructureArity(t *testing.T) {
+	mustFailWith(t, `fun f() -> word { let (a, b) = sram[4](0); a }`, "cannot destructure")
+}
+
+func TestConstEval(t *testing.T) {
+	info := mustCheck(t, `
+let A = 0x10;
+let B = A * 4 + 2;
+fun main() -> word { B }`)
+	if info.Consts["B"] != 0x42 {
+		t.Fatalf("B = %#x, want 0x42", info.Consts["B"])
+	}
+}
+
+func TestConstNotCompileTime(t *testing.T) {
+	mustFailWith(t, `let A = hash(1); fun f() -> word { A }`, "compile-time")
+}
+
+func TestPackChecking(t *testing.T) {
+	mustCheck(t, `
+layout h = {
+  verpri : overlay { whole : 8 | parts : { version:4, priority:4 } },
+  rest : 24
+};
+fun f(u: word) -> packed(h) {
+  pack[h] [ verpri = [ whole = 0x60 ], rest = u ]
+}
+fun g(u: word) -> packed(h) {
+  pack[h] [ verpri = [ parts = [ version = 6, priority = 0 ] ], rest = u ]
+}`)
+}
+
+func TestPackMissingField(t *testing.T) {
+	mustFailWith(t, `
+layout h = { a : 8, b : 24 };
+fun f() -> packed(h) { pack[h] [ a = 1 ] }`, "missing field")
+}
+
+func TestPackTwoAlternativesRejected(t *testing.T) {
+	mustFailWith(t, `
+layout h = { v : overlay { whole : 8 | parts : { x:4, y:4 } } , r : 24 };
+fun f() -> packed(h) { pack[h] [ v = [ whole = 1, parts = [x=1,y=2] ], r = 0 ] }`,
+		"exactly one alternative")
+}
+
+func TestUnpackWrongSize(t *testing.T) {
+	mustFailWith(t, `
+layout h = { a : 32, b : 32 };
+fun f(p: word[3]) -> word { unpack[h](p).a }`, "unpack operand")
+}
+
+func TestNamedCallChecks(t *testing.T) {
+	mustFailWith(t, `
+fun g[x: word, y: word] -> word { x + y }
+fun f() -> word { g[x = 1, z = 2] }`, "no parameter named")
+	mustFailWith(t, `
+fun g[x: word, y: word] -> word { x + y }
+fun f() -> word { g[x = 1] }`, "missing argument")
+}
+
+func TestFunctionArgument(t *testing.T) {
+	mustCheck(t, `
+fun apply(f: (word) -> word, x: word) -> word { f(x) }
+fun inc(v: word) -> word { v + 1 }
+fun main() -> word { apply(inc, 41) }`)
+}
+
+func TestWhileBody(t *testing.T) {
+	mustCheck(t, `
+fun f(n: word) -> word {
+  let acc = 0;
+  while (n > 0) {
+    let acc = acc + n;
+    let n = n - 1;
+  }
+  acc
+}`)
+}
+
+func TestReturnTypeChecked(t *testing.T) {
+	mustFailWith(t, `fun f() -> word { return (1, 2); }`, "return from")
+}
+
+func TestWordCountOfArrowIsZero(t *testing.T) {
+	a := Arrow{Params: []Field{{Name: "x", Type: Word{}}}, Result: Word{}}
+	if WordCount(a) != 0 {
+		t.Fatal("arrows must occupy no runtime words")
+	}
+	e := Exn{Params: []Field{{Name: "b", Type: Word{}}}}
+	if WordCount(e) != 0 {
+		t.Fatal("exceptions must occupy no runtime words")
+	}
+}
+
+func TestEqualityModuloSynonyms(t *testing.T) {
+	info := mustCheck(t, `
+layout pair = { x : 32, y : 32 };
+fun f(p: packed(pair)) -> (word, word) { (unpack[pair](p).x, unpack[pair](p).y) }`)
+	pl := info.LayoutEnv["pair"]
+	if !Equal(Packed{L: pl}, Tuple{Elems: []Type{Word{}, Word{}}}) {
+		t.Fatal("packed(pair) != (word, word)")
+	}
+	if Equal(Packed{L: pl}, Tuple{Elems: []Type{Word{}}}) {
+		t.Fatal("packed(pair) == (word)?")
+	}
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/nova"
+)
+
+func TestFullCompileAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ILP compilation takes minutes")
+	}
+	for _, tc := range []struct{ name, src string }{
+		{"aes.nova", AESSource},
+		{"kasumi.nova", KasumiSource},
+		{"nat.nova", NATSource},
+	} {
+		start := time.Now()
+		opts := nova.DefaultOptions()
+		opts.MIP = &mip.Options{Time: 120 * time.Second}
+		comp, err := nova.Compile(tc.name, tc.src, opts)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		st := comp.Alloc.ModelStats
+		t.Logf("%s: %v | mir instrs=%d temps=%d | model vars=%d cons=%d obj=%d | mip status=%v nodes=%d root=%v total=%v | moves=%d spills=%d | code=%d words",
+			tc.name, time.Since(start).Round(time.Millisecond),
+			comp.MIR.NumInstrs(), comp.MIR.NumTemps(),
+			st.Vars, st.Constraints, st.ObjTerms,
+			comp.Alloc.MIP.Status, comp.Alloc.MIP.Nodes,
+			comp.Alloc.MIP.RootTime.Round(time.Millisecond), comp.Alloc.MIP.Time.Round(time.Millisecond),
+			comp.Alloc.NumMoves(), comp.Alloc.Spills, comp.Asm.CodeWords())
+	}
+}

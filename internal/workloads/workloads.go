@@ -1,0 +1,187 @@
+// Package workloads holds the paper's three benchmark programs (§11)
+// as Nova sources, the memory-image initialization the host performs
+// (the StrongARM core's job on real hardware), and exact Go oracles of
+// each program's observable behaviour for differential testing.
+package workloads
+
+import (
+	_ "embed"
+
+	"repro/internal/cps"
+	"repro/internal/refcipher"
+)
+
+// Nova sources.
+var (
+	//go:embed aes.nova
+	AESSource string
+	//go:embed kasumi.nova
+	KasumiSource string
+	//go:embed nat.nova
+	NATSource string
+)
+
+// SRAM memory map (word addresses) shared with aes.nova/kasumi.nova.
+const (
+	TE0Base  = 0x1000
+	TE1Base  = 0x1100
+	TE2Base  = 0x1200
+	TE3Base  = 0x1300
+	SboxBase = 0x1400
+	RKBase   = 0x1500
+	S9Base   = 0x1600
+	// Scratch map.
+	S7Base   = 0x0
+	SubkBase = 0x80
+)
+
+// AESKey is the fixed AES-128 key (the paper statically expands the
+// key schedule; so do we).
+var AESKey = [4]uint32{0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f}
+
+// KasumiKey is the fixed Kasumi 128-bit key as eight 16-bit words.
+var KasumiKey = [8]uint16{0x0011, 0x2233, 0x4455, 0x6677, 0x8899, 0xaabb, 0xccdd, 0xeeff}
+
+// InitAES loads the T-tables, S-box, and expanded round keys into SRAM.
+func InitAES(sram []uint32) {
+	for i := 0; i < 256; i++ {
+		sram[TE0Base+i] = refcipher.Te[0][i]
+		sram[TE1Base+i] = refcipher.Te[1][i]
+		sram[TE2Base+i] = refcipher.Te[2][i]
+		sram[TE3Base+i] = refcipher.Te[3][i]
+		sram[SboxBase+i] = uint32(refcipher.Sbox[i])
+	}
+	w := refcipher.ExpandKey128(AESKey)
+	for i, v := range w {
+		sram[RKBase+i] = v
+	}
+}
+
+// InitKasumi loads S9 into SRAM and S7 plus the packed subkey tables
+// into scratch (two 16-bit subkeys per word, four words per round).
+func InitKasumi(sram, scratch []uint32) {
+	for i, v := range refcipher.S9 {
+		sram[S9Base+i] = uint32(v)
+	}
+	for i, v := range refcipher.S7 {
+		scratch[S7Base+i] = uint32(v)
+	}
+	s := refcipher.KasumiKeySchedule(KasumiKey)
+	for r := 0; r < 8; r++ {
+		base := SubkBase + 4*r
+		scratch[base+0] = uint32(s.KL1[r])<<16 | uint32(s.KL2[r])
+		scratch[base+1] = uint32(s.KO1[r])<<16 | uint32(s.KO2[r])
+		scratch[base+2] = uint32(s.KO3[r])<<16 | uint32(s.KI1[r])
+		scratch[base+3] = uint32(s.KI2[r])<<16 | uint32(s.KI3[r])
+	}
+}
+
+func fold16(x uint32) uint32 {
+	y := (x & 0xffff) + (x >> 16)
+	return (y & 0xffff) + (y >> 16)
+}
+
+// AESOracle mirrors aes.nova's main exactly: it transforms sdram in
+// place and returns the program's result word.
+func AESOracle(sdram []uint32, pkt, nblocks uint32) uint32 {
+	if nblocks > 64 {
+		return 1 // TooBig
+	}
+	ethertype := sdram[pkt+3] >> 16
+	if ethertype != 0x0800 {
+		return 0 // NotFast
+	}
+	version := sdram[pkt+4] >> 28
+	protocol := sdram[pkt+6] >> 16 & 0xff
+	if version != 4 || protocol != 6 {
+		return 0
+	}
+	w := refcipher.ExpandKey128(AESKey)
+	var delta uint32
+	for blk := uint32(0); blk < nblocks; blk++ {
+		a := pkt + 14 + blk*4
+		p := [4]uint32{sdram[a], sdram[a+1], sdram[a+2], sdram[a+3]}
+		c := refcipher.EncryptBlock(&w, p)
+		copy(sdram[a:], c[:])
+		for i := 0; i < 4; i++ {
+			delta += fold16(c[i]) - fold16(p[i])
+		}
+	}
+	oldck := sdram[pkt+13] >> 16
+	newck := fold16(oldck+fold16(delta)) & 0xffff
+	sdram[pkt+13] = newck<<16 | sdram[pkt+13]&0xffff
+	return fold16(delta)
+}
+
+// KasumiOracle mirrors kasumi.nova's main exactly.
+func KasumiOracle(sdram []uint32, pkt, nblocks uint32) uint32 {
+	if nblocks > 128 {
+		return 1
+	}
+	if sdram[pkt+3]>>16 != 0x0800 {
+		return 0
+	}
+	if sdram[pkt+4]>>28 != 4 || sdram[pkt+6]>>16&0xff != 6 {
+		return 0
+	}
+	s := refcipher.KasumiKeySchedule(KasumiKey)
+	var delta uint32
+	for blk := uint32(0); blk < nblocks; blk++ {
+		a := pkt + 14 + blk*2
+		p0, p1 := sdram[a], sdram[a+1]
+		c0, c1 := refcipher.KasumiEncrypt(s, p0, p1)
+		sdram[a], sdram[a+1] = c0, c1
+		delta += fold16(c0) + fold16(c1) - fold16(p0) - fold16(p1)
+	}
+	oldck := sdram[pkt+13] >> 16
+	newck := fold16(oldck+fold16(delta)) & 0xffff
+	sdram[pkt+13] = newck<<16 | sdram[pkt+13]&0xffff
+	return fold16(delta)
+}
+
+// NATOracle mirrors nat.nova's main exactly. paylen counts 2-word
+// payload chunks.
+func NATOracle(sdram []uint32, src6, dst4, paylen uint32) uint32 {
+	if paylen > 512 {
+		return 2
+	}
+	h0 := sdram[src6]
+	h1 := sdram[src6+1]
+	if h0>>28 != 6 {
+		return 0
+	}
+	nextHeader := h1 >> 8 & 0xff
+	hopLimit := h1 & 0xff
+	if nextHeader != 6 {
+		return 0
+	}
+	if hopLimit == 0 {
+		return 1
+	}
+	s4 := cps.DefaultHash(sdram[src6+2] ^ sdram[src6+3] ^ sdram[src6+4] ^ sdram[src6+5])
+	d4 := cps.DefaultHash(sdram[src6+6] ^ sdram[src6+7] ^ sdram[src6+8] ^ sdram[src6+9])
+	payloadLength := h1 >> 16
+	tlen := (payloadLength + 20) & 0xffff
+	ttl := (hopLimit - 1) & 0xff
+	v := [5]uint32{
+		4<<28 | 5<<24 | tlen,
+		2 << 13, // flags DF
+		ttl<<24 | 6<<16,
+		s4,
+		d4,
+	}
+	sum := uint32(0)
+	for _, x := range v {
+		sum += fold16(x)
+	}
+	ck := (fold16(sum) ^ 0xffff) & 0xffff
+	f := v
+	f[2] |= ck
+	copy(sdram[dst4:], f[:])
+	sdram[dst4+5] = 0
+	for i := uint32(0); i < paylen; i++ {
+		sdram[dst4+6+2*i] = sdram[src6+10+2*i]
+		sdram[dst4+6+2*i+1] = sdram[src6+10+2*i+1]
+	}
+	return ck
+}

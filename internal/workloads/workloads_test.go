@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cps"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/pktgen"
+	"repro/internal/source"
+	"repro/internal/ssu"
+	"repro/internal/types"
+)
+
+// frontend compiles a workload to CPS (stopping before the expensive
+// ILP back end; the end-to-end tests live in the benchmark harness).
+func frontend(t *testing.T, name, src string) *cps.Program {
+	t.Helper()
+	f := source.NewFile(name, src)
+	errs := source.NewErrorList(f)
+	prog := parser.Parse(f, errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse %s: %v", name, errs)
+	}
+	info := types.Check(prog, errs)
+	if errs.HasErrors() {
+		t.Fatalf("check %s: %v", name, errs)
+	}
+	p := cps.Convert(info, "main", errs)
+	if errs.HasErrors() {
+		t.Fatalf("convert %s: %v", name, errs)
+	}
+	// Run the middle-end too, so the oracle comparison covers the
+	// optimizer and the SSU transform, not just conversion.
+	opt.Optimize(p)
+	ssu.Transform(p)
+	return p
+}
+
+func newMachine() *cps.Machine {
+	m := cps.NewMachine(1<<13, 1<<13, 1024)
+	return m
+}
+
+func TestAESAgainstOracle(t *testing.T) {
+	p := frontend(t, "aes.nova", AESSource)
+	for _, payload := range []int{16, 32, 64, 256} {
+		pkt := pktgen.BuildTCP(int64(payload), payload)
+		nblocks := uint32(payload / 16)
+		m := newMachine()
+		InitAES(m.SRAM)
+		copy(m.SDRAM[100:], pkt.Words)
+		want := append([]uint32(nil), m.SDRAM...)
+		wantRet := AESOracle(want, 100, nblocks)
+		res, err := p.Eval(m, []uint32{100, nblocks}, 10_000_000)
+		if err != nil {
+			t.Fatalf("payload %d: eval: %v", payload, err)
+		}
+		if res.Results[0] != wantRet {
+			t.Fatalf("payload %d: ret %#x, oracle %#x", payload, res.Results[0], wantRet)
+		}
+		for i := range want {
+			if m.SDRAM[i] != want[i] {
+				t.Fatalf("payload %d: sdram[%d] = %#x, oracle %#x", payload, i, m.SDRAM[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAESSlowPathPackets(t *testing.T) {
+	p := frontend(t, "aes.nova", AESSource)
+	// Non-IP ethertype must take the NotFast handler (result 0) and
+	// leave the payload untouched.
+	pkt := pktgen.BuildTCP(1, 32)
+	pkt.Words[3] = 0x86dd_0000 // IPv6 ethertype
+	m := newMachine()
+	InitAES(m.SRAM)
+	copy(m.SDRAM[100:], pkt.Words)
+	before := append([]uint32(nil), m.SDRAM...)
+	res, err := p.Eval(m, []uint32{100, 2}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != 0 {
+		t.Fatalf("ret = %d, want 0 (NotFast)", res.Results[0])
+	}
+	for i := range before {
+		if m.SDRAM[i] != before[i] {
+			t.Fatalf("slow-path packet modified at %d", i)
+		}
+	}
+	// Oversized requests take the TooBig handler.
+	res2, err := p.Eval(m, []uint32{100, 65}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Results[0] != 1 {
+		t.Fatalf("ret = %d, want 1 (TooBig)", res2.Results[0])
+	}
+}
+
+func TestKasumiAgainstOracle(t *testing.T) {
+	p := frontend(t, "kasumi.nova", KasumiSource)
+	for _, payload := range []int{8, 16, 64, 256} {
+		pkt := pktgen.BuildTCP(int64(payload)*7, payload)
+		nblocks := uint32(payload / 8)
+		m := newMachine()
+		InitKasumi(m.SRAM, m.Scratch)
+		copy(m.SDRAM[200:], pkt.Words)
+		want := append([]uint32(nil), m.SDRAM...)
+		wantRet := KasumiOracle(want, 200, nblocks)
+		res, err := p.Eval(m, []uint32{200, nblocks}, 10_000_000)
+		if err != nil {
+			t.Fatalf("payload %d: eval: %v", payload, err)
+		}
+		if res.Results[0] != wantRet {
+			t.Fatalf("payload %d: ret %#x, oracle %#x", payload, res.Results[0], wantRet)
+		}
+		for i := range want {
+			if m.SDRAM[i] != want[i] {
+				t.Fatalf("payload %d: sdram[%d] = %#x, oracle %#x", payload, i, m.SDRAM[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNATAgainstOracle(t *testing.T) {
+	p := frontend(t, "nat.nova", NATSource)
+	for _, payload := range []int{0, 16, 64, 512} {
+		words := pktgen.BuildIPv6TCP(int64(payload)+3, payload)
+		paylen := uint32((payload + 7) / 8)
+		m := newMachine()
+		copy(m.SDRAM[100:], words)
+		want := append([]uint32(nil), m.SDRAM...)
+		wantRet := NATOracle(want, 100, 2000, paylen)
+		res, err := p.Eval(m, []uint32{100, 2000, paylen}, 10_000_000)
+		if err != nil {
+			t.Fatalf("payload %d: eval: %v", payload, err)
+		}
+		if res.Results[0] != wantRet {
+			t.Fatalf("payload %d: ret %#x, oracle %#x", payload, res.Results[0], wantRet)
+		}
+		for i := range want {
+			if m.SDRAM[i] != want[i] {
+				t.Fatalf("payload %d: sdram[%d] = %#x, oracle %#x", payload, i, m.SDRAM[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNATSlowPaths(t *testing.T) {
+	p := frontend(t, "nat.nova", NATSource)
+	words := pktgen.BuildIPv6TCP(1, 16)
+	// Hop limit exhausted.
+	words[1] &= ^uint32(0xff)
+	m := newMachine()
+	copy(m.SDRAM[100:], words)
+	res, err := p.Eval(m, []uint32{100, 2000, 2}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != 1 {
+		t.Fatalf("ret = %d, want 1 (Expired)", res.Results[0])
+	}
+}
