@@ -35,12 +35,14 @@ var table = []wl{
 
 var compiled = map[string]*nova.Compilation{}
 
+var jobs = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
+
 func compile(w wl) *nova.Compilation {
 	if c, ok := compiled[w.name]; ok {
 		return c
 	}
 	opts := nova.DefaultOptions()
-	opts.MIP = &mip.Options{Time: 4 * time.Minute}
+	opts.MIP = &mip.Options{Time: 4 * time.Minute, Workers: *jobs}
 	fmt.Fprintf(os.Stderr, "compiling %s.nova ...\n", w.name)
 	c, err := nova.Compile(w.name+".nova", w.src, opts)
 	if err != nil {

@@ -28,6 +28,7 @@ func main() {
 	noCoarsen := flag.Bool("no-coarsen", false, "use the per-point (paper-exact) move model")
 	remat := flag.Bool("remat", false, "enable the §12 constant bank C")
 	timeout := flag.Duration("solve-timeout", 4*time.Minute, "ILP solve budget")
+	jobs := flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
 	lpOut := flag.String("lp", "", "write the generated integer program to this file (CPLEX LP format)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,7 +47,7 @@ func main() {
 	opts.Alloc.Prune = !*noPrune
 	opts.Alloc.Coarsen = !*noCoarsen
 	opts.Alloc.Remat = *remat
-	opts.MIP = &mip.Options{Time: *timeout}
+	opts.MIP = &mip.Options{Time: *timeout, Workers: *jobs}
 
 	start := time.Now()
 	comp, err := nova.Compile(path, string(src), opts)

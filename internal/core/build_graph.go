@@ -353,14 +353,14 @@ func (cb *chainBuilder) run(lv *mir.Liveness) error {
 				return fmt.Errorf("core: temp %s has no feasible arrival bank", g.mp.TempName(v))
 			}
 			cur = g.newLoc(v, arrive)
-			runs = append(runs, activeRun{from: pt(d.idx + 1), loc: cur})
+			runs = append(runs, activeRun{from: pt(d.idx + 1), loc: cur, arrival: true})
 			startIdx = d.idx + 1
 			cb.event(v, d.idx+1) // post-definition move opportunity
 		} else if cp, isClone := cloneDst[v]; isClone {
 			// Arrival location unified with the source's location at
 			// the clone point (After[p1], §10).
 			cur = g.newLoc(v, cb.allowed[v])
-			runs = append(runs, activeRun{from: pt(cp.idx + 1), loc: cur})
+			runs = append(runs, activeRun{from: pt(cp.idx + 1), loc: cur, arrival: true})
 			startIdx = cp.idx + 1
 			cb.event(v, cp.idx+1)
 			g.cloneLinks = append(g.cloneLinks, cloneLink{
@@ -379,7 +379,7 @@ func (cb *chainBuilder) run(lv *mir.Liveness) error {
 				}
 			}
 			cur = g.newLoc(v, allow)
-			runs = append(runs, activeRun{from: pt(0), loc: cur})
+			runs = append(runs, activeRun{from: pt(0), loc: cur, arrival: true})
 			startIdx = 0
 		}
 		// Event points in order.
@@ -456,7 +456,7 @@ func (cb *chainBuilder) run(lv *mir.Liveness) error {
 			}
 		}
 		for _, v := range sortedTemps(counted) {
-			before := g.beforeLocAt(v, p)
+			before := g.beforeLocAtLinear(v, p)
 			after := g.activeLocAt(v, p)
 			if before >= 0 {
 				g.beforeLocs[p] = append(g.beforeLocs[p], locEntry{v: v, loc: before})
@@ -470,8 +470,11 @@ func (cb *chainBuilder) run(lv *mir.Liveness) error {
 }
 
 // beforeLocAt returns v's location just before any move at p: the
-// arrival run starting exactly at p if the temp was just defined, else
-// the last run starting strictly before p.
+// arrival run starting exactly at p if one exists, else the last run
+// starting strictly before p. Extraction and emission must use this
+// (not the Linear variant): resolving a block-entry point to an
+// earlier block's chain follows layout order, not control flow, and
+// miscompiles when a move in one branch arm changes the bank.
 func (g *graph) beforeLocAt(v mir.Temp, p pointID) locID {
 	runs := g.active[v]
 	best := locID(-1)
@@ -479,9 +482,38 @@ func (g *graph) beforeLocAt(v mir.Temp, p pointID) locID {
 		if r.from < p {
 			best = r.loc
 		} else if r.from == p {
-			// Arrival runs are recorded before post-move runs at the
-			// same point; take the first run at p only if nothing
-			// earlier exists (a fresh definition).
+			// An arrival run at p (block entry, fresh definition, or
+			// clone arrival) is the before-move location even when
+			// earlier runs exist: those belong to an earlier block in
+			// layout order — a different control-flow path, not this
+			// point's past. Post-move runs at p are never "before".
+			if r.arrival || best < 0 {
+				best = r.loc
+			}
+			break
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// beforeLocAtLinear is the layout-linear lookup the Exists lists
+// (capacity, interference, occupancy rows) are built with: at a block
+// entry it yields the previous layout block's last location rather
+// than the entry arrival. The model has constrained that web since the
+// first version of this allocator; switching the lists to the arrival
+// webs adds one web per live-in temp per block to every such row and
+// sends the root relaxation's solve time up by orders of magnitude, so
+// the model keeps the historical lists and only the solution queries
+// (beforeLocAt above) use the control-flow-correct rule.
+func (g *graph) beforeLocAtLinear(v mir.Temp, p pointID) locID {
+	runs := g.active[v]
+	best := locID(-1)
+	for _, r := range runs {
+		if r.from < p {
+			best = r.loc
+		} else if r.from == p {
 			if best < 0 {
 				best = r.loc
 			}

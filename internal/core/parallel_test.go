@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mip"
+)
+
+// TestFigure3WorkersEquivalence solves the Figure 3 position model
+// with one and with eight tree-search workers: both must allocate
+// successfully, spill nothing, and land on weighted move costs equal
+// within the MIP gap, regardless of which within-gap incumbent the
+// parallel search finds first.
+func TestFigure3WorkersEquivalence(t *testing.T) {
+	src := `
+fun main() {
+  let (a, b, c, d) = sram[4](100);
+  let (e, f, g, h, i, j) = sram[6](200);
+  let u = a + c;
+  let v = g + h;
+  sram(300) <- (b, e, v, u);
+  sram(500) <- (f, j, d, i);
+}`
+	mp := lower(t, src)
+	solveWith := func(workers int) *Result {
+		res, err := Allocate(mp, DefaultOptions(), &mip.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := Verify(res); err != nil {
+			t.Fatalf("workers=%d: verify: %v", workers, err)
+		}
+		return res
+	}
+	serial := solveWith(1)
+	parallel := solveWith(8)
+	if serial.MIP.Status != mip.Optimal || parallel.MIP.Status != mip.Optimal {
+		t.Fatalf("statuses: serial %v, parallel %v", serial.MIP.Status, parallel.MIP.Status)
+	}
+	if serial.Spills != 0 || parallel.Spills != 0 {
+		t.Fatalf("spills: serial %d, parallel %d, want 0", serial.Spills, parallel.Spills)
+	}
+	sc := serial.MIP.Obj + serial.ObjConst
+	pc := parallel.MIP.Obj + parallel.ObjConst
+	tol := 1e-4*math.Max(1, math.Abs(sc)) + 1e-9
+	if math.Abs(sc-pc) > tol {
+		t.Fatalf("total move cost: serial %v vs parallel %v (tol %v)", sc, pc, tol)
+	}
+	// The extracted solution must reproduce its own objective in both.
+	for _, r := range []*Result{serial, parallel} {
+		if got, want := r.WeightedCost(), r.MIP.Obj+r.ObjConst; math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("extracted cost %v != solver cost %v", got, want)
+		}
+	}
+}

@@ -150,6 +150,12 @@ type locEntry struct {
 type activeRun struct {
 	from pointID
 	loc  locID
+	// arrival marks the first run of a block-local chain: a live-in
+	// value at block entry, a fresh definition, or a clone arrival.
+	// Before any move at `from`, the value is in this location —
+	// never in the last location of an earlier (possibly
+	// non-adjacent) block's chain.
+	arrival bool
 }
 
 // find resolves the union-find root of a location.

@@ -57,7 +57,9 @@ func (r *Result) WriteLP(w io.Writer) error { return r.model.WriteLP(w) }
 
 // Allocate runs the complete ILP-based register/bank allocation for a
 // MIR program (after SSU). The mipOpts default to the paper's 0.01%
-// gap.
+// gap and a parallel tree search over all cores (mip.Options.Workers);
+// the color-completion heuristic installed here is safe under that
+// parallelism because the solver serializes heuristic calls.
 func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, error) {
 	g, err := buildGraph(mp, opts)
 	if err != nil {

@@ -1,0 +1,43 @@
+package ixp
+
+import "testing"
+
+// TestE2EBranchArmMoves pins down a miscompile where a bank move
+// scheduled inside one arm of a diamond was emitted with its source
+// resolved from the other (layout-earlier) arm's location, producing a
+// self-move that never loaded the transfer register. The allocator is
+// free to place the hash-result L->S moves either in the shared
+// predecessor (one move, full weight) or once per arm (two moves, half
+// weight each) — the two are cost-equal, so both shapes are reachable
+// depending on search order. This program (fuzzer seed 16) is one
+// where the per-arm shape miscompiled: the second SRAM aggregate write
+// stored 0 instead of the hash value.
+func TestE2EBranchArmMoves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ILP solve")
+	}
+	src := `
+fun main(p: word, q: word) -> word {
+  let v1 = if (p < q) q else q + 1;
+  let v2 = hash(q);
+  let v3 = scratch[1]((v1 & 0x3f));
+  let v4 = q & v3;
+  let v5 = if (q < v4) q else p + 1;
+  let v6 = scratch[1]((v3 & 0x3f));
+  let v7 = (v1 >> 15) & 0xff;
+  sram((p & 0xff) | 0x100) <- (v2, v3, v1, v5);
+  let v8 = if (v3 < v2) v1 else v4 + 1;
+  let v9 = scratch[1]((v3 & 0x3f));
+  sram((v3 & 0xff) | 0x100) <- (v6, v2, v3);
+  let (v10, v11) = sdram[2]((v6 & 0x7e));
+  sdram((p & 0x7e) | 0x80) <- (v11, v10);
+  let acc = v3;
+  let i = 0;
+  while (i < (q & 0x7)) {
+    let acc = acc + sram[1]((acc & 0xff)) + v3;
+    let i = i + 1;
+  }
+  acc ^ v11 ^ v10 ^ v9
+}`
+	compileRun(t, src, []uint32{115, 1}, nil)
+}

@@ -137,22 +137,55 @@ func (s Status) String() string {
 	}
 }
 
+// Basis is a snapshot of a simplex basis: the state of every variable
+// (structurals 0..n-1 followed by the slacks of rows 0..m-1) and the
+// variable occupying each basis row slot. A Basis taken from one solve
+// can seed another via Options.WarmBasis on any problem with the same
+// row/column structure — in particular a Clone with changed bounds, the
+// branch-and-bound case. Snapshots are immutable; they may be shared
+// across goroutines.
+type Basis struct {
+	State []int8 // varState values, length NumCols()+NumRows()
+	Order []int  // Order[r] = variable occupying basis row slot r
+}
+
 // Solution is the result of a solve.
 type Solution struct {
 	Status Status
 	X      []float64 // structural variable values
 	Obj    float64
 	Iters  int
+	Basis  *Basis // final basis snapshot, for warm-starting re-solves
 }
 
-// Solve runs two-phase primal simplex. A nil opts uses defaults.
+// Solve runs two-phase primal simplex. A nil opts uses defaults. The
+// options are copied before defaulting, so one Options value can be
+// shared by concurrent solves of different problems.
 func (p *Problem) Solve(opts *Options) (*Solution, error) {
-	if opts == nil {
-		opts = &Options{}
+	var o Options
+	if opts != nil {
+		o = *opts
 	}
-	opts.fill(p)
-	s := newSimplex(p, opts)
+	o.fill(p)
+	s := newSimplex(p, &o)
 	return s.solve()
+}
+
+// Clone returns a deep copy of the problem. Branch-and-bound workers
+// each own a clone, since bounds are mutated in place during search.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		cols:  make([][]Nz, len(p.cols)),
+		obj:   append([]float64(nil), p.obj...),
+		lo:    append([]float64(nil), p.lo...),
+		hi:    append([]float64(nil), p.hi...),
+		rowLo: append([]float64(nil), p.rowLo...),
+		rowHi: append([]float64(nil), p.rowHi...),
+	}
+	for j, c := range p.cols {
+		q.cols[j] = append([]Nz(nil), c...)
+	}
+	return q
 }
 
 // Options tunes the solver.
@@ -160,6 +193,12 @@ type Options struct {
 	MaxIters    int     // 0 means automatic (scaled with problem size)
 	Tol         float64 // feasibility/optimality tolerance (default 1e-7)
 	RefactorGap int     // eta count between refactorizations (default 128)
+
+	// WarmBasis, when non-nil, starts the simplex from this basis
+	// instead of the all-slack crash basis. A snapshot that does not
+	// match the problem's dimensions (or is internally inconsistent)
+	// is ignored and the solve falls back to the crash basis.
+	WarmBasis *Basis
 }
 
 func (o *Options) fill(p *Problem) {

@@ -177,25 +177,8 @@ func (s *simplex) solve() (*Solution, error) {
 	if err := s.p.check(); err != nil {
 		return &Solution{Status: Infeasible}, err
 	}
-	// Start from the all-slack basis with structural variables at the
-	// finite bound nearest zero.
-	for j := 0; j < s.n; j++ {
-		lo, hi := s.lob(j), s.hib(j)
-		switch {
-		case lo > math.Inf(-1) && (math.Abs(lo) <= math.Abs(hi) || hi == Inf):
-			s.state[j] = stLower
-		case hi < Inf:
-			s.state[j] = stUpper
-		default:
-			s.state[j] = stZero
-		}
-		s.inRow[j] = -1
-	}
-	for r := 0; r < s.m; r++ {
-		j := s.n + r
-		s.state[j] = stBasic
-		s.basis[r] = j
-		s.inRow[j] = r
+	if s.opts.WarmBasis == nil || !s.loadBasis(s.opts.WarmBasis) {
+		s.crashBasis()
 	}
 	s.refactor()
 
@@ -216,7 +199,7 @@ func (s *simplex) solve() (*Solution, error) {
 	}
 	// Phase 2: optimize.
 	st := s.run(false)
-	sol := &Solution{Status: st, Iters: s.iter, X: make([]float64, s.n)}
+	sol := &Solution{Status: st, Iters: s.iter, X: make([]float64, s.n), Basis: s.snapshot()}
 	for j := 0; j < s.n; j++ {
 		sol.X[j] = s.value(j)
 	}
@@ -224,6 +207,98 @@ func (s *simplex) solve() (*Solution, error) {
 		sol.Obj += s.p.obj[j] * sol.X[j]
 	}
 	return sol, nil
+}
+
+// crashBasis installs the all-slack basis with structural variables at
+// the finite bound nearest zero.
+func (s *simplex) crashBasis() {
+	for j := 0; j < s.n; j++ {
+		lo, hi := s.lob(j), s.hib(j)
+		switch {
+		case lo > math.Inf(-1) && (math.Abs(lo) <= math.Abs(hi) || hi == Inf):
+			s.state[j] = stLower
+		case hi < Inf:
+			s.state[j] = stUpper
+		default:
+			s.state[j] = stZero
+		}
+		s.inRow[j] = -1
+	}
+	for r := 0; r < s.m; r++ {
+		j := s.n + r
+		s.state[j] = stBasic
+		s.basis[r] = j
+		s.inRow[j] = r
+	}
+}
+
+// loadBasis installs a snapshot taken from a structurally identical
+// problem (typically the parent node in branch and bound, after a
+// bound change). It validates the snapshot and reports whether it was
+// usable; the caller refactors afterwards, which also repairs any
+// singularity and recomputes the basic values against the current
+// bounds. Nonbasic states are re-sanitized against the (possibly
+// changed) bounds so nonbasicValue never reads an infinite bound.
+func (s *simplex) loadBasis(b *Basis) bool {
+	if len(b.State) != s.n+s.m || len(b.Order) != s.m {
+		return false
+	}
+	basics := 0
+	for j := 0; j < s.n+s.m; j++ {
+		st := varState(b.State[j])
+		if st < stBasic || st > stZero {
+			return false
+		}
+		if st == stBasic {
+			basics++
+		}
+		s.state[j] = st
+		s.inRow[j] = -1
+	}
+	if basics != s.m {
+		return false
+	}
+	for r, j := range b.Order {
+		if j < 0 || j >= s.n+s.m || varState(b.State[j]) != stBasic || s.inRow[j] >= 0 {
+			return false
+		}
+		s.basis[r] = j
+		s.inRow[j] = r
+	}
+	// Bounds may have moved since the snapshot: keep nonbasic variables
+	// on a finite bound.
+	for j := 0; j < s.n+s.m; j++ {
+		lo, hi := s.lob(j), s.hib(j)
+		switch s.state[j] {
+		case stLower:
+			if lo == math.Inf(-1) {
+				if hi < Inf {
+					s.state[j] = stUpper
+				} else {
+					s.state[j] = stZero
+				}
+			}
+		case stUpper:
+			if hi == Inf {
+				if lo > math.Inf(-1) {
+					s.state[j] = stLower
+				} else {
+					s.state[j] = stZero
+				}
+			}
+		}
+	}
+	return true
+}
+
+// snapshot captures the current basis for warm-started re-solves.
+func (s *simplex) snapshot() *Basis {
+	b := &Basis{State: make([]int8, s.n+s.m), Order: make([]int, s.m)}
+	for j, st := range s.state {
+		b.State[j] = int8(st)
+	}
+	copy(b.Order, s.basis)
+	return b
 }
 
 // infeasibility returns the total bound violation of basic variables.

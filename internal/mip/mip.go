@@ -2,11 +2,18 @@
 // of the lp package — the stand-in for CPLEX (§5, §11 of the paper).
 // The paper solves its models to within 0.01% of optimal; that is this
 // solver's default relative gap as well.
+//
+// The search runs as a shared best-bound node pool drained by N worker
+// goroutines (Options.Workers). Each worker owns a clone of the
+// problem, replays a node's bound-change path onto it, and solves the
+// node LP warm-started from the parent's basis; after branching it
+// dives depth-first into the nearer child (keeping the basis in hand)
+// while the sibling goes back to the pool.
 package mip
 
 import (
-	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/lp"
@@ -18,6 +25,7 @@ type Options struct {
 	MaxNodes int           // node budget; default 200000
 	Time     time.Duration // wall-clock budget; default 5 minutes
 	LP       *lp.Options   // per-node LP options
+	Workers  int           // parallel tree-search workers; default GOMAXPROCS
 
 	// ObjOffset is a constant added to the objective for gap purposes
 	// only: callers that moved fixed costs out of the LP pass it so the
@@ -34,7 +42,8 @@ type Options struct {
 	// completion of x (a full assignment); the solver verifies
 	// feasibility and uses it as an incumbent. This hook lets domain
 	// code finish symmetric subproblems (e.g. register colors)
-	// combinatorially.
+	// combinatorially. Calls are serialized by the solver, so the hook
+	// need not be goroutine-safe even with Workers > 1.
 	Heuristic func(x []float64) ([]float64, bool)
 }
 
@@ -47,6 +56,9 @@ func (o *Options) fill() {
 	}
 	if o.Time == 0 {
 		o.Time = 5 * time.Minute
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -86,17 +98,19 @@ type Result struct {
 	Time     time.Duration
 	Nodes    int
 	LPIters  int
+	Workers  int // tree-search workers used
 }
 
 // Solve minimizes p with the integrality constraint applied to the
 // columns where integer[j] is true (pass nil for all-integer). The
-// problem's bounds are mutated during the search and restored before
-// returning.
+// problem itself is never mutated: the root relaxation reads it and
+// every worker searches on its own clone.
 func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	opts.fill()
+	o := *opts
+	o.fill()
 	n := p.NumCols()
 	if integer == nil {
 		integer = make([]bool, n)
@@ -105,11 +119,11 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		}
 	}
 	start := time.Now()
-	res := &Result{Obj: math.Inf(1)}
+	res := &Result{Obj: math.Inf(1), Workers: o.Workers}
 
 	// Root relaxation.
 	rootStart := time.Now()
-	rootSol, err := p.Solve(opts.LP)
+	rootSol, err := p.Solve(o.LP)
 	res.RootTime = time.Since(rootStart)
 	if err != nil {
 		return nil, err
@@ -121,157 +135,20 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		res.Time = time.Since(start)
 		return res, nil
 	case lp.Unbounded:
-		return nil, fmt.Errorf("mip: relaxation is unbounded")
+		return nil, errUnbounded
 	case lp.IterLimit:
-		return nil, fmt.Errorf("mip: root LP hit iteration limit")
+		return nil, errRootIterLimit
 	}
 	res.RootObj = rootSol.Obj
 
+	e := newEngine(p, integer, &o, start)
 	// Rounding heuristic for a quick incumbent.
 	if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok {
-		res.X, res.Obj = x, obj
+		e.offerIncumbent(obj, x)
 	}
-
-	// Depth-first branch and bound. Each stack entry owns a bound
-	// change to apply (relative to its parent) and remembers how to
-	// undo it.
-	type node struct {
-		col     int
-		lo, hi  float64 // new bounds for col
-		oldLo   float64
-		oldHi   float64
-		bound   float64 // parent LP objective (lower bound)
-		applied bool
-		depth   int
-	}
-	stack := []*node{{col: -1, bound: rootSol.Obj}}
-
-	var undo []*node // applied bound changes, for restoration
-	restoreTo := func(depth int) {
-		for len(undo) > depth {
-			nd := undo[len(undo)-1]
-			undo = undo[:len(undo)-1]
-			p.SetBounds(nd.col, nd.oldLo, nd.oldHi)
-		}
-	}
-	defer restoreTo(0)
-
-	status := Status(Optimal)
-	proven := false
-
-	for len(stack) > 0 {
-		if res.Nodes >= opts.MaxNodes {
-			status = NodeLimit
-			break
-		}
-		if time.Since(start) > opts.Time {
-			status = TimeLimit
-			break
-		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		restoreTo(nd.depth)
-		if nd.col >= 0 {
-			nd.oldLo, nd.oldHi = p.Bounds(nd.col)
-			p.SetBounds(nd.col, nd.lo, nd.hi)
-			undo = append(undo, nd)
-		}
-		// Bound-based pruning.
-		gapAbs := opts.Gap * math.Max(1, math.Abs(res.Obj+opts.ObjOffset))
-		if nd.bound >= res.Obj-gapAbs {
-			continue
-		}
-		res.Nodes++
-		sol, err := p.Solve(opts.LP)
-		if err != nil {
-			return nil, err
-		}
-		res.LPIters += sol.Iters
-		if sol.Status != lp.Optimal {
-			continue // infeasible subtree (or numerically hopeless)
-		}
-		if sol.Obj >= res.Obj-gapAbs {
-			continue
-		}
-		// Find the most fractional integer column, respecting branching
-		// priorities (highest priority class first).
-		branchCol, frac, branchPrio := -1, 0.0, math.MinInt
-		for j := 0; j < n; j++ {
-			if !integer[j] {
-				continue
-			}
-			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
-			if f <= 1e-6 {
-				continue
-			}
-			pr := 0
-			if opts.Priority != nil {
-				pr = opts.Priority[j]
-			}
-			if pr > branchPrio || (pr == branchPrio && f > frac) {
-				branchCol, frac, branchPrio = j, f, pr
-			}
-		}
-		if branchCol >= 0 && opts.Heuristic != nil {
-			if cand, ok := opts.Heuristic(sol.X); ok && Feasible(p, cand, 1e-6) {
-				obj := 0.0
-				for j := 0; j < n; j++ {
-					obj += p.Obj(j) * cand[j]
-				}
-				if obj < res.Obj {
-					res.Obj = obj
-					res.X = append([]float64(nil), cand...)
-				}
-				// The LP bound may still be below the incumbent; keep
-				// branching unless the gap is closed. The tolerance is
-				// recomputed: the incumbent may just have gone finite.
-				gapAbs = opts.Gap * math.Max(1, math.Abs(res.Obj+opts.ObjOffset))
-				if sol.Obj >= res.Obj-gapAbs {
-					continue
-				}
-			}
-		}
-		if branchCol < 0 {
-			// Integral: new incumbent.
-			res.Obj = sol.Obj
-			res.X = append([]float64(nil), sol.X...)
-			for j := range res.X {
-				if integer[j] {
-					res.X[j] = math.Round(res.X[j])
-				}
-			}
-			continue
-		}
-		x := sol.X[branchCol]
-		lo, hi := p.Bounds(branchCol)
-		down := &node{col: branchCol, lo: lo, hi: math.Floor(x), bound: sol.Obj, depth: len(undo)}
-		up := &node{col: branchCol, lo: math.Ceil(x), hi: hi, bound: sol.Obj, depth: len(undo)}
-		// Explore the nearer side first (pushed last).
-		if x-math.Floor(x) < 0.5 {
-			stack = append(stack, up, down)
-		} else {
-			stack = append(stack, down, up)
-		}
-	}
-	if len(stack) == 0 {
-		proven = true
-	}
-	restoreTo(0)
+	e.run(rootSol, res)
 	res.Time = time.Since(start)
-	if math.IsInf(res.Obj, 1) {
-		if proven {
-			res.Status = Infeasible
-		} else {
-			res.Status = status
-		}
-		return res, nil
-	}
-	if proven {
-		res.Status = Optimal
-	} else {
-		res.Status = status
-	}
-	return res, nil
+	return res, e.err
 }
 
 // roundFeasible rounds the integer components of x and checks the
@@ -300,8 +177,22 @@ func roundFeasible(p *lp.Problem, integer []bool, x []float64) ([]float64, float
 
 // Feasible checks a point against all rows and bounds of p.
 func Feasible(p *lp.Problem, x []float64, tol float64) bool {
+	return feasibleScratch(p, x, tol, nil)
+}
+
+// feasibleScratch is Feasible with a caller-owned row-activity scratch
+// slice, so hot callers (the search workers) do not allocate per check.
+func feasibleScratch(p *lp.Problem, x []float64, tol float64, act []float64) bool {
 	n := p.NumCols()
-	act := make([]float64, p.NumRows())
+	m := p.NumRows()
+	if cap(act) < m {
+		act = make([]float64, m)
+	} else {
+		act = act[:m]
+		for i := range act {
+			act[i] = 0
+		}
+	}
 	for j := 0; j < n; j++ {
 		lo, hi := p.Bounds(j)
 		if x[j] < lo-tol || x[j] > hi+tol {
@@ -311,7 +202,7 @@ func Feasible(p *lp.Problem, x []float64, tol float64) bool {
 			act[nz.Row] += nz.Val * x[j]
 		}
 	}
-	for r := 0; r < p.NumRows(); r++ {
+	for r := 0; r < m; r++ {
 		lo, hi := p.RowBounds(r)
 		if act[r] < lo-tol || act[r] > hi+tol {
 			return false

@@ -176,7 +176,10 @@ func (m *Model) FamilyCount(family string) int { return m.families[family] }
 // LP exposes the underlying problem (for bounds fixing in tests).
 func (m *Model) LP() *lp.Problem { return m.lp }
 
-// Solve runs branch and bound.
+// Solve runs branch and bound. Parallelism is controlled by
+// opts.Workers (default: all cores); the solver searches on clones of
+// the underlying problem, so the model itself is never mutated and may
+// be inspected (Stats, Value lookups) while a solve runs elsewhere.
 func (m *Model) Solve(opts *mip.Options) (*mip.Result, error) {
 	return mip.Solve(m.lp, m.integer, opts)
 }

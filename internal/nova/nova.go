@@ -26,6 +26,7 @@ type Options struct {
 	Entry     string // entry function; default "main"
 	Alloc     core.Options
 	MIP       *mip.Options
+	Workers   int    // ILP tree-search workers; 0 = mip default (GOMAXPROCS)
 	SpillBase uint32 // scratch address of spill slot 0; default 0x300
 	SkipAsm   bool   // stop after allocation (model experiments)
 }
@@ -69,6 +70,16 @@ func Compile(name, src string, opts Options) (*Compilation, error) {
 	}
 	if opts.SpillBase == 0 {
 		opts.SpillBase = 0x300
+	}
+	if opts.Workers != 0 {
+		// Copy before overriding so a caller-shared mip.Options value is
+		// not mutated.
+		m := mip.Options{}
+		if opts.MIP != nil {
+			m = *opts.MIP
+		}
+		m.Workers = opts.Workers
+		opts.MIP = &m
 	}
 	f := source.NewFile(name, src)
 	errs := source.NewErrorList(f)
