@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	novabench [-table fig5|fig6|fig7|throughput|all]
+//	novabench [-table fig5|fig6|fig7|throughput|all] [-cuts=false]
+//	          [-presolve=false] [-json BENCH_mip.json]
+//
+// With -json, novabench instead runs the MIP scaling workload (the
+// same instance as BenchmarkMIPScaling) across worker counts and
+// writes a machine-readable record to the given path — this is how
+// BENCH_mip.json is regenerated.
 package main
 
 import (
@@ -35,14 +41,29 @@ var table = []wl{
 
 var compiled = map[string]*nova.Compilation{}
 
-var jobs = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
+var (
+	jobs     = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
+	cuts     = flag.Bool("cuts", true, "root-node cutting planes in the ILP solves")
+	presolve = flag.Bool("presolve", true, "ILP presolve reductions before the solves")
+)
+
+func mipOptions() *mip.Options {
+	o := &mip.Options{Time: 4 * time.Minute, Workers: *jobs}
+	if !*cuts {
+		o.CutRounds = -1
+	}
+	if !*presolve {
+		o.Presolve = -1
+	}
+	return o
+}
 
 func compile(w wl) *nova.Compilation {
 	if c, ok := compiled[w.name]; ok {
 		return c
 	}
 	opts := nova.DefaultOptions()
-	opts.MIP = &mip.Options{Time: 4 * time.Minute, Workers: *jobs}
+	opts.MIP = mipOptions()
 	fmt.Fprintf(os.Stderr, "compiling %s.nova ...\n", w.name)
 	c, err := nova.Compile(w.name+".nova", w.src, opts)
 	if err != nil {
@@ -55,7 +76,15 @@ func compile(w wl) *nova.Compilation {
 
 func main() {
 	which := flag.String("table", "all", "table to print: fig5, fig6, fig7, throughput, all")
+	jsonOut := flag.String("json", "", "run the MIP scaling workload and write a JSON benchmark record to this path")
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	all := *which == "all"
 	if all || *which == "fig5" {
 		fig5()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	novac [-entry main] [-print cps|mir|asm] [-stats] [-no-prune]
-//	      [-no-coarsen] [-remat] file.nova
+//	      [-no-coarsen] [-remat] [-cuts=false] [-presolve=false] file.nova
 package main
 
 import (
@@ -29,6 +29,8 @@ func main() {
 	remat := flag.Bool("remat", false, "enable the §12 constant bank C")
 	timeout := flag.Duration("solve-timeout", 4*time.Minute, "ILP solve budget")
 	jobs := flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
+	cuts := flag.Bool("cuts", true, "root-node cutting planes in the ILP solve")
+	presolve := flag.Bool("presolve", true, "ILP presolve reductions before the solve")
 	lpOut := flag.String("lp", "", "write the generated integer program to this file (CPLEX LP format)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,6 +50,12 @@ func main() {
 	opts.Alloc.Coarsen = !*noCoarsen
 	opts.Alloc.Remat = *remat
 	opts.MIP = &mip.Options{Time: *timeout, Workers: *jobs}
+	if !*cuts {
+		opts.MIP.CutRounds = -1
+	}
+	if !*presolve {
+		opts.MIP.Presolve = -1
+	}
 
 	start := time.Now()
 	comp, err := nova.Compile(path, string(src), opts)
@@ -80,10 +88,14 @@ func main() {
 		ms := comp.Alloc.ModelStats
 		fmt.Printf("ilp: %d variables, %d constraints, %d objective terms\n",
 			ms.Vars, ms.Constraints, ms.ObjTerms)
+		if ps := ms.Presolve; ps != nil {
+			fmt.Printf("presolve: fixed %d variables, dropped %d rows (%d rounds)\n",
+				ps.FixedVars, ps.DroppedRows, ps.Rounds)
+		}
 		root, total := comp.Alloc.SolveTimes()
-		fmt.Printf("solve: root %v, integer %v (%v), %d nodes\n",
+		fmt.Printf("solve: root %v, integer %v (%v), %d nodes, %d cuts\n",
 			root.Round(time.Millisecond), total.Round(time.Millisecond),
-			comp.Alloc.MIP.Status, comp.Alloc.MIP.Nodes)
+			comp.Alloc.MIP.Status, comp.Alloc.MIP.Nodes, comp.Alloc.MIP.Cuts)
 		fmt.Printf("solution: %d moves, %d spills, %d rematerializations, %d coalesced\n",
 			comp.Alloc.NumMoves(), comp.Alloc.Spills, comp.Alloc.Remats, comp.Assign.Coalesced)
 		fmt.Printf("code: %d instruction words\n", comp.Asm.CodeWords())

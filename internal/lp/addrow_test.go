@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAddRowWarmResolve is the cutting-plane re-solve check on the
+// assignment fixtures: add a row that cuts off the incumbent vertex,
+// then re-solve warm-started from the pre-AddRow basis. The warm solve
+// must reach exactly the cold solve's objective while spending fewer
+// simplex iterations (this is what makes root-node cut loops cheap).
+func TestAddRowWarmResolve(t *testing.T) {
+	coldTotal, warmTotal := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		p := buildAssignment(20, seed)
+		base, err := p.Solve(nil)
+		if err != nil || base.Status != Optimal {
+			t.Fatalf("seed %d: base solve: %v %v", seed, base.Status, err)
+		}
+		// A cut that excludes the current vertex: the selected columns
+		// may not all stay selected (sum over them <= count-1).
+		var cols []int
+		var vals []float64
+		for j := 0; j < p.NumCols() && len(cols) < 6; j++ {
+			if base.X[j] > 0.5 {
+				cols = append(cols, j)
+				vals = append(vals, 1)
+			}
+		}
+		p.AddRow(math.Inf(-1), float64(len(cols)-1), cols, vals)
+
+		q := p.Clone()
+		cold, err := q.Solve(nil)
+		if err != nil || cold.Status != Optimal {
+			t.Fatalf("seed %d: cold re-solve: %v %v", seed, cold.Status, err)
+		}
+		warm, err := p.Solve(&Options{WarmBasis: base.Basis})
+		if err != nil || warm.Status != Optimal {
+			t.Fatalf("seed %d: warm re-solve: %v %v", seed, warm.Status, err)
+		}
+		if math.Abs(warm.Obj-cold.Obj) > 1e-7 {
+			t.Fatalf("seed %d: warm obj %v != cold obj %v", seed, warm.Obj, cold.Obj)
+		}
+		if warm.Obj < base.Obj-1e-9 {
+			t.Fatalf("seed %d: cut obj %v below relaxation %v", seed, warm.Obj, base.Obj)
+		}
+		coldTotal += cold.Iters
+		warmTotal += warm.Iters
+	}
+	if warmTotal >= coldTotal {
+		t.Fatalf("warm cut re-solves did not reduce iterations: warm %d vs cold %d", warmTotal, coldTotal)
+	}
+	t.Logf("cut re-solve iterations: cold %d, warm %d (%.1fx)",
+		coldTotal, warmTotal, float64(coldTotal)/float64(warmTotal))
+}
+
+// TestAddRowWarmResolveRandom cross-checks warm-vs-cold agreement when
+// several rows are appended between solves, including rows that leave
+// the warm basis primal-infeasible and rows that are slack.
+func TestAddRowWarmResolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(6)
+		p := NewProblem()
+		for j := 0; j < n; j++ {
+			p.AddCol(float64(rng.Intn(9)-4), 0, float64(1+rng.Intn(3)))
+		}
+		for r := 0; r < m; r++ {
+			var cols []int
+			var vals []float64
+			for j := 0; j < n; j++ {
+				if v := float64(rng.Intn(5) - 2); v != 0 {
+					cols = append(cols, j)
+					vals = append(vals, v)
+				}
+			}
+			lo := float64(-rng.Intn(4))
+			p.AddRow(lo, lo+float64(rng.Intn(8)), cols, vals)
+		}
+		base, err := p.Solve(nil)
+		if err != nil || base.Status != Optimal {
+			continue
+		}
+		extra := 1 + rng.Intn(3)
+		for k := 0; k < extra; k++ {
+			var cols []int
+			var vals []float64
+			for j := 0; j < n; j++ {
+				if v := float64(rng.Intn(3) - 1); v != 0 {
+					cols = append(cols, j)
+					vals = append(vals, v)
+				}
+			}
+			p.AddRow(math.Inf(-1), float64(rng.Intn(6)-1), cols, vals)
+		}
+		cold, err1 := p.Clone().Solve(nil)
+		warm, err2 := p.Solve(&Options{WarmBasis: base.Basis})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v %v", trial, err1, err2)
+		}
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: cold %v vs warm %v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status == Optimal && math.Abs(cold.Obj-warm.Obj) > 1e-6 {
+			t.Fatalf("trial %d: cold obj %v vs warm obj %v", trial, cold.Obj, warm.Obj)
+		}
+	}
+}
+
+// TestWarmBasisRowPrefixOnly: a snapshot with MORE rows than the
+// problem, or a different column count, must be rejected (fall back to
+// the crash basis), never mis-mapped.
+func TestWarmBasisRowPrefixOnly(t *testing.T) {
+	big := buildAssignment(6, 1)
+	solBig, err := big.Solve(nil)
+	if err != nil || solBig.Status != Optimal {
+		t.Fatal(err)
+	}
+	small := buildAssignment(6, 2) // same shape
+	// Strip two rows' worth of snapshot to fake a larger-m snapshot is
+	// not possible via the public API; instead check the two rejection
+	// paths that matter: column mismatch and row surplus.
+	other := buildAssignment(5, 1)
+	ref, _ := other.Solve(nil)
+	got, err := other.Solve(&Options{WarmBasis: solBig.Basis})
+	if err != nil || got.Status != Optimal || got.Obj != ref.Obj {
+		t.Fatalf("column-mismatch fallback: %+v (want %v), err %v", got, ref.Obj, err)
+	}
+	// Row surplus: snapshot from small (36 rows... same as big) — build
+	// a problem with one row removed by construction instead.
+	fewer := NewProblem()
+	for j := 0; j < small.NumCols(); j++ {
+		lo, hi := small.Bounds(j)
+		fewer.AddCol(small.Obj(j), lo, hi)
+	}
+	// Only copy the first m-2 rows.
+	type term struct {
+		col int
+		val float64
+	}
+	rows := make([][]term, small.NumRows())
+	for j := 0; j < small.NumCols(); j++ {
+		for _, nz := range small.Col(j) {
+			rows[nz.Row] = append(rows[nz.Row], term{j, nz.Val})
+		}
+	}
+	for r := 0; r < small.NumRows()-2; r++ {
+		lo, hi := small.RowBounds(r)
+		var cols []int
+		var vals []float64
+		for _, tm := range rows[r] {
+			cols = append(cols, tm.col)
+			vals = append(vals, tm.val)
+		}
+		fewer.AddRow(lo, hi, cols, vals)
+	}
+	refF, _ := fewer.Clone().Solve(nil)
+	gotF, err := fewer.Solve(&Options{WarmBasis: solBig.Basis})
+	if err != nil || gotF.Status != refF.Status || math.Abs(gotF.Obj-refF.Obj) > 1e-7 {
+		t.Fatalf("row-surplus fallback: %+v (want %+v), err %v", gotF, refF, err)
+	}
+}

@@ -67,6 +67,12 @@ func (p *Problem) AddCol(obj, lo, hi float64) int {
 
 // AddRow adds a constraint lo <= sum coefs <= hi, returning its index.
 // Use equal bounds for an equation.
+//
+// Rows may be appended after a solve — the cutting-plane pattern. A
+// re-solve warm-started from the pre-AddRow basis (Options.WarmBasis)
+// restarts from that incumbent basis with the new rows' slacks basic,
+// so separating a cut costs a short feasibility-restoring cleanup
+// instead of a cold solve.
 func (p *Problem) AddRow(lo, hi float64, cols []int, vals []float64) int {
 	r := len(p.rowLo)
 	p.rowLo = append(p.rowLo, lo)
@@ -142,8 +148,10 @@ func (s Status) String() string {
 // variable occupying each basis row slot. A Basis taken from one solve
 // can seed another via Options.WarmBasis on any problem with the same
 // row/column structure — in particular a Clone with changed bounds, the
-// branch-and-bound case. Snapshots are immutable; they may be shared
-// across goroutines.
+// branch-and-bound case — or on a problem that has since grown extra
+// rows (the cutting-plane case: the snapshot rows must be a prefix and
+// the structural columns identical; new rows' slacks enter the basis).
+// Snapshots are immutable; they may be shared across goroutines.
 type Basis struct {
 	State []int8 // varState values, length NumCols()+NumRows()
 	Order []int  // Order[r] = variable occupying basis row slot r

@@ -234,17 +234,26 @@ func (s *simplex) crashBasis() {
 
 // loadBasis installs a snapshot taken from a structurally identical
 // problem (typically the parent node in branch and bound, after a
-// bound change). It validates the snapshot and reports whether it was
-// usable; the caller refactors afterwards, which also repairs any
-// singularity and recomputes the basic values against the current
-// bounds. Nonbasic states are re-sanitized against the (possibly
-// changed) bounds so nonbasicValue never reads an infinite bound.
+// bound change). The snapshot may also come from the same problem
+// *before* rows were appended (the cutting-plane case: AddRow then
+// re-solve): the snapshot's rows must be a prefix of the current rows
+// and the structural column count must match; the new rows' slacks
+// enter the basis, so the re-solve restarts from the incumbent basis
+// instead of a cold crash. It validates the snapshot and reports
+// whether it was usable; the caller refactors afterwards, which also
+// repairs any singularity and recomputes the basic values against the
+// current bounds. Nonbasic states are re-sanitized against the
+// (possibly changed) bounds so nonbasicValue never reads an infinite
+// bound.
 func (s *simplex) loadBasis(b *Basis) bool {
-	if len(b.State) != s.n+s.m || len(b.Order) != s.m {
+	m0 := len(b.Order)
+	if m0 > s.m || len(b.State) != s.n+m0 {
 		return false
 	}
+	// Snapshot variable ids are directly valid here: structurals are
+	// 0..n-1 in both, and the slack of old row r is n+r in both.
 	basics := 0
-	for j := 0; j < s.n+s.m; j++ {
+	for j := 0; j < s.n+m0; j++ {
 		st := varState(b.State[j])
 		if st < stBasic || st > stZero {
 			return false
@@ -255,13 +264,20 @@ func (s *simplex) loadBasis(b *Basis) bool {
 		s.state[j] = st
 		s.inRow[j] = -1
 	}
-	if basics != s.m {
+	if basics != m0 {
 		return false
 	}
 	for r, j := range b.Order {
-		if j < 0 || j >= s.n+s.m || varState(b.State[j]) != stBasic || s.inRow[j] >= 0 {
+		if j < 0 || j >= s.n+m0 || varState(b.State[j]) != stBasic || s.inRow[j] >= 0 {
 			return false
 		}
+		s.basis[r] = j
+		s.inRow[j] = r
+	}
+	// Rows appended since the snapshot: their slacks become basic.
+	for r := m0; r < s.m; r++ {
+		j := s.n + r
+		s.state[j] = stBasic
 		s.basis[r] = j
 		s.inRow[j] = r
 	}
@@ -462,7 +478,23 @@ func (s *simplex) run(phase1 bool) Status {
 			if room < 0 {
 				room = 0
 			}
-			if room < limit-1e-12 || (room < limit+1e-12 && math.Abs(wr) > bestPiv) {
+			// Tie-breaking among rows at the minimum ratio: normally the
+			// largest pivot (numerical stability), but under Bland's rule
+			// the smallest basis index — the anti-cycling guarantee needs
+			// the smallest-index rule on BOTH the entering and the leaving
+			// choice, and with only the entering side covered the search
+			// can stall on a degenerate face indefinitely (observed on a
+			// presolved allocator ILP: 85k+ zero-step pivots at the
+			// optimal objective without termination).
+			better := room < limit-1e-12
+			if !better && room < limit+1e-12 {
+				if s.bland {
+					better = leave < 0 || s.basis[r] < s.basis[leave]
+				} else {
+					better = math.Abs(wr) > bestPiv
+				}
+			}
+			if better {
 				limit = room
 				leave = r
 				leaveToUpper = toUpper

@@ -1,44 +1,9 @@
 package mip
 
 import (
-	"math"
-	"math/rand"
 	"runtime"
 	"testing"
-
-	"repro/internal/lp"
 )
-
-// buildMultiKnapsack makes a correlated multi-dimensional 0-1 knapsack
-// — values tied to weights leave a weak LP bound, so branch and bound
-// must open a real tree. This is the scaling workload for
-// BenchmarkMIPScaling (run with -cpu 1,2,4,8).
-func buildMultiKnapsack(n, m int, seed int64) *lp.Problem {
-	rng := rand.New(rand.NewSource(seed))
-	p := lp.NewProblem()
-	weights := make([][]float64, m)
-	for r := range weights {
-		weights[r] = make([]float64, n)
-	}
-	cols := make([]int, n)
-	for j := 0; j < n; j++ {
-		base := float64(10 + rng.Intn(50))
-		// Maximize value (minimize the negation), value ≈ total weight.
-		value := base*float64(m) + float64(rng.Intn(10))
-		cols[j] = p.AddCol(-value, 0, 1)
-		for r := 0; r < m; r++ {
-			weights[r][j] = base + float64(rng.Intn(10))
-		}
-	}
-	for r := 0; r < m; r++ {
-		sum := 0.0
-		for j := 0; j < n; j++ {
-			sum += weights[r][j]
-		}
-		p.AddRow(math.Inf(-1), math.Floor(sum/2), cols, weights[r])
-	}
-	return p
-}
 
 // BenchmarkMIPScaling measures one full branch-and-bound solve with
 // Workers = GOMAXPROCS, so `go test -bench MIPScaling -cpu 1,2,4,8`
@@ -47,7 +12,7 @@ func buildMultiKnapsack(n, m int, seed int64) *lp.Problem {
 func BenchmarkMIPScaling(b *testing.B) {
 	var nodes, iters int
 	for i := 0; i < b.N; i++ {
-		p := buildMultiKnapsack(60, 5, 12345)
+		p := MultiKnapsack(60, 5, 12345)
 		res, err := Solve(p, nil, &Options{Workers: runtime.GOMAXPROCS(0)})
 		if err != nil || res.Status != Optimal {
 			b.Fatalf("status %v err %v", res, err)

@@ -1,0 +1,201 @@
+package mip
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+)
+
+// Gomory mixed-integer (GMI) cuts, separated at the root from tableau
+// rows of fractional basic integer variables. Where cover and clique
+// cuts need special row structure, GMI cuts apply to every fractional
+// vertex, so they are what actually moves the root bound on rows the
+// combinatorial families cannot read (and they are the workhorse cut of
+// the CPLEX generation the paper used). Root-only: each cut costs a
+// basis factorization view, and tableau cuts separated from deep-node
+// bases are numerically the riskiest, so the tree sticks to the
+// combinatorial families.
+
+// gmiMaxDynamic rejects cuts whose coefficient magnitudes span more
+// than this ratio — wide-range rows breed numerical trouble downstream.
+const gmiMaxDynamic = 1e7
+
+// gmiCuts separates up to maxCuts GMI cuts from the basis snapshot of a
+// solve of p. integer flags the structural integer columns; bounds in p
+// must be the root bounds (the cuts are then globally valid).
+func gmiCuts(p *lp.Problem, basis *lp.Basis, integer []bool, maxCuts int) []cut {
+	view, ok := lp.NewTableauView(p, basis)
+	if !ok {
+		return nil
+	}
+	n, m := view.NumCols(), view.NumRows()
+
+	// Candidate rows: basic structural integer variables at fractional
+	// values, most fractional first.
+	type cand struct {
+		row  int
+		frac float64
+	}
+	var cands []cand
+	for r := 0; r < m; r++ {
+		j, v := view.BasicVar(r)
+		if j >= n || !integer[j] {
+			continue
+		}
+		f := v - math.Floor(v)
+		if f < 0.01 || f > 0.99 {
+			continue
+		}
+		cands = append(cands, cand{r, f})
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		return math.Abs(cands[a].frac-0.5) < math.Abs(cands[b].frac-0.5)
+	})
+	if len(cands) > maxCuts {
+		cands = cands[:maxCuts]
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Slack substitution needs the rows of p (including any cut rows
+	// already appended to it).
+	rows := newRowView(p)
+	coef := make([]float64, n+m)
+	beta := make([]float64, n)
+	var out []cut
+	for _, cd := range cands {
+		rhs := view.Row(cd.row, coef)
+		if c, ok := gmiFromTableauRow(view, rows, integer, coef, rhs, beta); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// gmiFromTableauRow turns one tableau row x_B + Σ a_j x_j (nonbasic)
+// into a GMI cut expressed over structural variables. beta is caller
+// scratch of length NumCols.
+func gmiFromTableauRow(view *lp.TableauView, rows *rowView, integer []bool, coef []float64, rhs float64, beta []float64) (cut, bool) {
+	n := view.NumCols()
+	f0 := rhs - math.Floor(rhs)
+	for j := range beta {
+		beta[j] = 0
+	}
+	// The cut is Σ g_j t_j >= f0 over the shifted nonbasic variables
+	// t_j >= 0 (t = x-lo at a lower bound, hi-x at an upper bound);
+	// cutRhs accumulates the shift constants as t is translated back.
+	cutRhs := f0
+	for j, a := range coef {
+		if a == 0 {
+			continue
+		}
+		st, lo, hi := view.VarInfo(j)
+		if st == lp.VarBasic {
+			continue
+		}
+		if st == lp.VarAtZero {
+			// A free nonbasic can move both ways; no finite GMI
+			// coefficient is valid for it.
+			return cut{}, false
+		}
+		atUpper := st == lp.VarAtUpper
+		at, bnd := a, lo
+		if atUpper {
+			at, bnd = -a, hi
+		}
+		if math.IsInf(bnd, 0) {
+			return cut{}, false
+		}
+		// t_j is integral only for integer structurals shifted by an
+		// integral bound; slacks are treated as continuous.
+		intT := j < n && integer[j] && bnd == math.Floor(bnd)
+		var g float64
+		if intT {
+			f := at - math.Floor(at)
+			if f <= f0 {
+				g = f / f0
+			} else {
+				g = (1 - f) / (1 - f0)
+			}
+		} else {
+			if at >= 0 {
+				g = at / f0
+			} else {
+				g = -at / (1 - f0)
+			}
+		}
+		if g <= 1e-11 {
+			// Dropping the term g·t (t in [0, hi-lo]) relaxes the cut by
+			// at most g·(hi-lo); absorb that into the rhs when it is
+			// negligible, otherwise keep the coefficient.
+			if !math.IsInf(hi, 0) && !math.IsInf(lo, 0) && g*(hi-lo) <= 1e-9 {
+				cutRhs -= g * (hi - lo)
+				continue
+			}
+			if g == 0 {
+				continue
+			}
+		}
+		// Translate g·t back to the original variable: coefficient +g at
+		// a lower bound, -g at an upper bound, constants onto the rhs.
+		cv := g
+		if atUpper {
+			cv = -g
+			cutRhs -= g * hi
+		} else {
+			cutRhs += g * lo
+		}
+		if j < n {
+			beta[j] += cv
+		} else {
+			// Slack s_r = Σ A_rk x_k: substitute the row expression.
+			r := j - n
+			for i, k := range rows.cols[r] {
+				beta[k] += cv * rows.vals[r][i]
+			}
+		}
+	}
+	c := cut{hi: math.Inf(1)}
+	minAbs, maxAbs := math.Inf(1), 0.0
+	for j := 0; j < n; j++ {
+		v := beta[j]
+		if v == 0 {
+			continue
+		}
+		if math.Abs(v) <= 1e-11 {
+			// Cancellation noise from the slack substitution. Dropping
+			// the term weakens Σβx >= rhs by at most max(v·lo, v·hi);
+			// absorb that into the rhs when finite, else keep the term.
+			_, lo, hi := view.VarInfo(j)
+			if adj := math.Max(v*lo, v*hi); !math.IsInf(adj, 0) && math.Abs(adj) <= 1e-8 {
+				cutRhs -= adj
+				continue
+			}
+		}
+		c.cols = append(c.cols, j)
+		c.vals = append(c.vals, v)
+		if math.Abs(v) < minAbs {
+			minAbs = math.Abs(v)
+		}
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	c.lo = cutRhs
+	if len(c.cols) == 0 || maxAbs > gmiMaxDynamic*minAbs || math.Abs(cutRhs) > 1e9 {
+		return cut{}, false
+	}
+	if len(c.cols) > gmiMaxSupport {
+		return cut{}, false
+	}
+	return c, true
+}
+
+// gmiMaxSupport caps the support of an accepted GMI cut: a dense row
+// both bloats every node LP and smears fractionality across so many
+// columns that most-fractional branching loses its way (observed
+// directly on the allocator ILPs, where 300+-nonzero tableau cuts
+// multiplied the tree 14-fold while improving the root bound).
+const gmiMaxSupport = 96

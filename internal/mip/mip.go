@@ -19,13 +19,29 @@ import (
 	"repro/internal/lp"
 )
 
-// Options tunes the search.
+// Options tunes the search. Out-of-range values (negative Workers or
+// MaxNodes, non-positive Gap or Time) fall back to the defaults rather
+// than producing undefined behavior.
 type Options struct {
 	Gap      float64       // relative optimality gap; default 1e-4 (0.01%)
 	MaxNodes int           // node budget; default 200000
 	Time     time.Duration // wall-clock budget; default 5 minutes
 	LP       *lp.Options   // per-node LP options
 	Workers  int           // parallel tree-search workers; default GOMAXPROCS
+
+	// CutRounds controls the root-node cutting-plane loop: 0 runs the
+	// automatic default (up to 30 rounds of lifted cover + clique
+	// separation, stopping when the relaxation stops improving), a
+	// negative value disables cutting planes entirely (reproducing the
+	// plain warm-started branch and bound), and a positive value caps
+	// the number of root rounds.
+	CutRounds int
+
+	// Presolve is interpreted by the modeling layer (model.Solve runs
+	// its presolve pass before exporting the problem to this solver
+	// unless Presolve is negative). mip.Solve itself ignores the field;
+	// it lives here so one options value configures the whole stack.
+	Presolve int
 
 	// ObjOffset is a constant added to the objective for gap purposes
 	// only: callers that moved fixed costs out of the LP pass it so the
@@ -45,16 +61,22 @@ type Options struct {
 	// combinatorially. Calls are serialized by the solver, so the hook
 	// need not be goroutine-safe even with Workers > 1.
 	Heuristic func(x []float64) ([]float64, bool)
+
+	// seedX/seedObj install a known-feasible starting incumbent before
+	// the search (used by the local-branching sub-solves, which restrict
+	// the neighborhood of a point they already hold).
+	seedX   []float64
+	seedObj float64
 }
 
 func (o *Options) fill() {
-	if o.Gap == 0 {
+	if o.Gap <= 0 {
 		o.Gap = 1e-4
 	}
-	if o.MaxNodes == 0 {
+	if o.MaxNodes <= 0 {
 		o.MaxNodes = 200000
 	}
-	if o.Time == 0 {
+	if o.Time <= 0 {
 		o.Time = 5 * time.Minute
 	}
 	if o.Workers <= 0 {
@@ -93,12 +115,18 @@ type Result struct {
 	Status   Status
 	X        []float64
 	Obj      float64
-	RootObj  float64
+	RootObj  float64 // plain root relaxation objective (before cuts)
 	RootTime time.Duration
 	Time     time.Duration
 	Nodes    int
 	LPIters  int
 	Workers  int // tree-search workers used
+
+	// RootCutObj is the root bound after the cutting-plane loop; it
+	// equals RootObj when cuts are disabled or none separated.
+	RootCutObj float64
+	// Cuts counts the cutting planes generated (root loop + tree).
+	Cuts int
 }
 
 // Solve minimizes p with the integrality constraint applied to the
@@ -140,15 +168,190 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		return nil, errRootIterLimit
 	}
 	res.RootObj = rootSol.Obj
+	res.RootCutObj = rootSol.Obj
 
-	e := newEngine(p, integer, &o, start)
-	// Rounding heuristic for a quick incumbent.
-	if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok {
-		e.offerIncumbent(obj, x)
+	// Root-node cutting-plane loop: separate lifted cover and clique
+	// cuts against the fractional point, append them to a clone of the
+	// problem, and re-solve warm-started from the previous basis until
+	// the relaxation stops improving. The clone keeps the caller's
+	// problem untouched; the pool carries the same cuts to the workers.
+	work := p
+	var sep *separator
+	var cpool *cutPool
+	cutBase := 0
+	if o.CutRounds >= 0 {
+		sep = newSeparator(p, integer)
+		cpool = newCutPool()
+		rounds := o.CutRounds
+		if rounds == 0 {
+			rounds = 10
+		}
+		sol := rootSol
+		stall := 0
+		for round := 0; round < rounds; round++ {
+			if time.Since(start) > o.Time {
+				break
+			}
+			cuts := sep.separate(sol.X, 48)
+			if o.Heuristic == nil {
+				// Tableau cuts only when no completion heuristic is
+				// registered: a caller's heuristic rounds the node LP
+				// vertex, and the dense GMI rows smear its fractionality
+				// across columns the heuristic cannot read, degrading the
+				// very incumbents that close heuristic-driven trees in tens
+				// of nodes. The sparse combinatorial families above stay on
+				// for everyone.
+				cuts = append(cuts, gmiCuts(work, sol.Basis, integer, 16)...)
+			}
+			if len(cuts) == 0 {
+				break
+			}
+			before := cpool.len()
+			if cpool.add(cuts) == 0 {
+				break
+			}
+			if work == p {
+				work = p.Clone()
+			}
+			cpool.apply(work, before)
+			warm, err := work.Solve(warmOpts(o.LP, sol.Basis))
+			if err != nil {
+				return nil, err
+			}
+			res.LPIters += warm.Iters
+			if warm.Status == lp.Infeasible {
+				// Every cut is valid for every integer point, so a cut
+				// LP with no solution proves the MIP infeasible.
+				res.Status = Infeasible
+				res.Cuts = cpool.len()
+				res.Time = time.Since(start)
+				return res, nil
+			}
+			if warm.Status != lp.Optimal {
+				break // keep the bound already in hand
+			}
+			improved := warm.Obj - sol.Obj
+			sol = warm
+			if improved <= 1e-7*math.Max(1, math.Abs(sol.Obj)) {
+				stall++
+				if stall >= 8 {
+					break
+				}
+			} else {
+				stall = 0
+			}
+		}
+		// Shed the cuts that ended up slack at the final root vertex
+		// before the tree starts; the vertex stays optimal without them
+		// and the workers' node LPs shrink accordingly. The trimmed LP
+		// is re-solved cold (the incumbent basis indexes dropped rows).
+		if tight := cpool.tight(sol.X, 1e-6); len(tight) < cpool.len() {
+			tp := newCutPool()
+			tp.add(tight)
+			tw := p
+			if tp.len() > 0 {
+				tw = p.Clone()
+				tp.apply(tw, 0)
+			}
+			if ts, err := tw.Solve(o.LP); err == nil && ts.Status == lp.Optimal {
+				res.LPIters += ts.Iters
+				cpool, work, sol = tp, tw, ts
+			}
+		}
+		rootSol = sol
+		res.RootCutObj = sol.Obj
+		cutBase = cpool.len()
+	}
+
+	e := newEngine(work, integer, &o, start)
+	e.sep = sep
+	e.cuts = cpool
+	e.cutBase = cutBase
+	e.trueRows = p.NumRows()
+	if sep != nil {
+		// The implicit objective cut rides with the explicit families:
+		// with cuts disabled the engine must replay the plain search.
+		e.objStep = objGranularity(p, integer)
+	}
+	// Root primal heuristics. The basic rounding runs always (it is the
+	// PR 1 behavior); the diving and local-branching stages ride with
+	// the cut loop, because an early near-optimal incumbent prunes the
+	// tree harder than any cut row. All candidates are verified against
+	// the original rows — the incumbent need only satisfy true
+	// constraints.
+	bestObj := math.Inf(1)
+	var bestX []float64
+	if o.seedX != nil {
+		bestX, bestObj = o.seedX, o.seedObj
+		e.offerIncumbent(bestObj, append([]float64(nil), bestX...))
+	}
+	if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok && obj < bestObj {
+		bestX, bestObj = x, obj
+	}
+	if sep != nil && o.Heuristic == nil && countBinaries(p, integer) <= maxHeurBinaries {
+		// Callers with a domain completion heuristic already get
+		// incumbents from structure; and on models with thousands of
+		// binaries a fixed-radius Hamming ball is a vanishing fraction
+		// of the cube while its sub-MIP LPs cost nearly as much as the
+		// real node LPs — so the generic root heuristics stand down.
+		if x, obj, iters, ok := rootDive(work, p, integer, rootSol, o.LP); ok {
+			res.LPIters += iters
+			if obj < bestObj {
+				bestX, bestObj = x, obj
+			}
+		}
+		// Local branching around the best point, recentering while it
+		// keeps improving.
+		for round := 0; round < 3 && bestX != nil; round++ {
+			remain := o.Time - time.Since(start)
+			if remain <= 0 {
+				break
+			}
+			x, obj, iters, ok := localBranch(p, integer, bestX, bestObj, o.LP, remain/8)
+			res.LPIters += iters
+			if !ok {
+				break
+			}
+			bestX, bestObj = x, obj
+		}
+	}
+	if bestX != nil {
+		e.offerIncumbent(bestObj, bestX)
 	}
 	e.run(rootSol, res)
+	if cpool != nil {
+		res.Cuts = cpool.len()
+	}
 	res.Time = time.Since(start)
 	return res, e.err
+}
+
+// maxHeurBinaries bounds the model size the generic root heuristics
+// (rounding dive, local branching) are worth their LP cost on.
+const maxHeurBinaries = 256
+
+// countBinaries counts integer columns with 0/1 bounds.
+func countBinaries(p *lp.Problem, integer []bool) int {
+	n := 0
+	for j, isInt := range integer {
+		if !isInt {
+			continue
+		}
+		if lo, hi := p.Bounds(j); lo == 0 && hi == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// warmOpts copies the caller's LP options with a warm basis installed.
+func warmOpts(base *lp.Options, b *lp.Basis) *lp.Options {
+	var o lp.Options
+	if base != nil {
+		o = *base
+	}
+	o.WarmBasis = b
+	return &o
 }
 
 // roundFeasible rounds the integer components of x and checks the
@@ -183,8 +386,17 @@ func Feasible(p *lp.Problem, x []float64, tol float64) bool {
 // feasibleScratch is Feasible with a caller-owned row-activity scratch
 // slice, so hot callers (the search workers) do not allocate per check.
 func feasibleScratch(p *lp.Problem, x []float64, tol float64, act []float64) bool {
+	return feasibleRows(p, x, tol, act, p.NumRows())
+}
+
+// feasibleRows is feasibleScratch restricted to the first rows
+// constraint rows. Workers verify heuristic candidates this way,
+// against the true model rows only: appended cut rows hold at every
+// integer-feasible point by construction, and the 1e-7-scale slack a
+// Gomory row can show at such a point must not veto an incumbent.
+func feasibleRows(p *lp.Problem, x []float64, tol float64, act []float64, rows int) bool {
 	n := p.NumCols()
-	m := p.NumRows()
+	m := p.NumRows() // activity scratch spans every row; only rows are checked
 	if cap(act) < m {
 		act = make([]float64, m)
 	} else {
@@ -202,7 +414,7 @@ func feasibleScratch(p *lp.Problem, x []float64, tol float64, act []float64) boo
 			act[nz.Row] += nz.Val * x[j]
 		}
 	}
-	for r := 0; r < m; r++ {
+	for r := 0; r < rows; r++ {
 		lo, hi := p.RowBounds(r)
 		if act[r] < lo-tol || act[r] > hi+tol {
 			return false

@@ -1,0 +1,60 @@
+package mip
+
+import (
+	"testing"
+	"time"
+)
+
+// Options validation: every out-of-range field must fall back to its
+// documented default instead of producing undefined behavior.
+
+func TestOptionsNegativeWorkers(t *testing.T) {
+	o := Options{Workers: -3}
+	o.fill()
+	if o.Workers < 1 {
+		t.Fatalf("Workers = %d after fill, want >= 1", o.Workers)
+	}
+}
+
+func TestOptionsNegativeMaxNodes(t *testing.T) {
+	o := Options{MaxNodes: -1}
+	o.fill()
+	if o.MaxNodes != 200000 {
+		t.Fatalf("MaxNodes = %d after fill, want default 200000", o.MaxNodes)
+	}
+}
+
+func TestOptionsNonPositiveGap(t *testing.T) {
+	for _, g := range []float64{0, -0.5} {
+		o := Options{Gap: g}
+		o.fill()
+		if o.Gap != 1e-4 {
+			t.Fatalf("Gap = %v after fill(%v), want default 1e-4", o.Gap, g)
+		}
+	}
+}
+
+func TestOptionsNonPositiveTime(t *testing.T) {
+	o := Options{Time: -time.Second}
+	o.fill()
+	if o.Time != 5*time.Minute {
+		t.Fatalf("Time = %v after fill, want default 5m", o.Time)
+	}
+}
+
+// TestOptionsInvalidEndToEnd drives a real solve through the validated
+// path: garbage options must still produce the correct optimum.
+func TestOptionsInvalidEndToEnd(t *testing.T) {
+	p := MultiKnapsack(20, 3, 7)
+	bad, err := Solve(p, nil, &Options{Workers: -8, MaxNodes: -1, Gap: -1, Time: -time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Solve(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Status != Optimal || !approx(bad.Obj, good.Obj) {
+		t.Fatalf("invalid options changed the result: %+v vs %+v", bad, good)
+	}
+}

@@ -1,0 +1,207 @@
+package mip
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Root diving heuristic, run once between the cutting-plane loop and
+// the tree search (and only when cuts are enabled — with cuts disabled
+// the solver must reproduce the plain search exactly). The tree prunes
+// against `incumbent - gap`, so an early near-optimal incumbent is
+// worth more nodes than any cut family; the baseline search often finds
+// its final incumbent only after half the tree.
+
+// rootDiveBudget caps the LP re-solves one dive may spend.
+const rootDiveBudget = 64
+
+// rootDive rounds its way from the root LP point to an integer point:
+// it repeatedly fixes the most-nearly-integral fractional column to the
+// nearest integer and re-solves warm-started, then polishes the result
+// with 1-flip and 2-swap local search over the binary columns. guide is
+// the problem the dive LPs run on (the cut-strengthened root); feas is
+// the original problem candidates are verified against. Returns the
+// candidate, its objective, the LP iterations spent, and whether a
+// feasible point was reached.
+func rootDive(guide, feas *lp.Problem, integer []bool, sol *lp.Solution, lpo *lp.Options) ([]float64, float64, int, bool) {
+	q := guide.Clone()
+	cur := sol
+	iters := 0
+	for pass := 0; pass < rootDiveBudget; pass++ {
+		// Most-nearly-integral fractional integer column.
+		fix, best := -1, 0.5+1e-9
+		for j, isInt := range integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(cur.X[j] - math.Round(cur.X[j]))
+			if f > 1e-6 && f < best {
+				fix, best = j, f
+			}
+		}
+		if fix < 0 {
+			break // integral
+		}
+		v := math.Round(cur.X[fix])
+		q.SetBounds(fix, v, v)
+		next, err := q.Solve(warmOpts(lpo, cur.Basis))
+		if err != nil || next.Status != lp.Optimal {
+			return nil, 0, iters, false
+		}
+		iters += next.Iters
+		cur = next
+	}
+	x := append([]float64(nil), cur.X...)
+	for j, isInt := range integer {
+		if isInt {
+			x[j] = math.Round(x[j])
+		}
+	}
+	if !Feasible(feas, x, 1e-6) {
+		return nil, 0, iters, false
+	}
+	obj := polish(feas, integer, x)
+	return x, obj, iters, true
+}
+
+// localBranch tries to improve an incumbent by solving the radius-k
+// neighborhood of it as a sub-MIP with a small node budget — the local
+// branching device: one extra row Σ_{x̂=1}(1-x_j) + Σ_{x̂=0} x_j <= k
+// over the binaries restricts the search to points within Hamming
+// distance k of the incumbent, where near-optimal exchanges live. The
+// sub-solve runs with cuts disabled (no recursion) and its tree is
+// heuristic effort, not main-tree nodes; its LP iterations are
+// reported. Returns an improved point when one is found.
+func localBranch(p *lp.Problem, integer []bool, x []float64, obj float64, lpo *lp.Options, budget time.Duration) ([]float64, float64, int, bool) {
+	// A small ball keeps the sub-MIP far easier than the full problem
+	// while still holding the profitable exchanges (the paper-scale
+	// instances improve by swapping a handful of assignments at a time);
+	// large radii degrade into re-solving the whole model.
+	const radius = 7
+	var cols []int
+	var vals []float64
+	ones := 0.0
+	for j, isInt := range integer {
+		if !isInt {
+			continue
+		}
+		lo, hi := p.Bounds(j)
+		if lo != 0 || hi != 1 {
+			continue
+		}
+		cols = append(cols, j)
+		if x[j] > 0.5 {
+			vals = append(vals, -1)
+			ones++
+		} else {
+			vals = append(vals, 1)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, 0, 0, false
+	}
+	q := p.Clone()
+	q.AddRow(math.Inf(-1), radius-ones, cols, vals)
+	res, err := Solve(q, integer, &Options{
+		Workers:   1,
+		CutRounds: -1,
+		MaxNodes:  3500,
+		Time:      budget,
+		LP:        lpo,
+		seedX:     x,
+		seedObj:   obj,
+	})
+	if err != nil || res.X == nil || res.Obj >= obj-1e-9 {
+		iters := 0
+		if res != nil {
+			iters = res.LPIters
+		}
+		return nil, 0, iters, false
+	}
+	cand := append([]float64(nil), res.X...)
+	if !Feasible(p, cand, 1e-6) {
+		return nil, 0, res.LPIters, false
+	}
+	return cand, res.Obj, res.LPIters, true
+}
+
+// polish improves an integer-feasible point in place with first-
+// improvement local search over the binary columns: single flips, then
+// 1-out/1-in swaps. Both moves keep row activities incrementally, so a
+// pass is cheap; sizes are capped so large models (which bring their
+// own domain heuristic) skip the quadratic part.
+func polish(p *lp.Problem, integer []bool, x []float64) float64 {
+	n := p.NumCols()
+	m := p.NumRows()
+	act := make([]float64, m)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Obj(j) * x[j]
+		for _, nz := range p.Col(j) {
+			act[nz.Row] += nz.Val * x[j]
+		}
+	}
+	var bins []int
+	for j := 0; j < n; j++ {
+		lo, hi := p.Bounds(j)
+		if integer[j] && lo == 0 && hi == 1 {
+			bins = append(bins, j)
+		}
+	}
+	if len(bins) > 5000 {
+		return obj
+	}
+	// delta applies x[j] += d when every touched row stays in bounds.
+	delta := func(j int, d float64) bool {
+		for _, nz := range p.Col(j) {
+			v := act[nz.Row] + nz.Val*d
+			lo, hi := p.RowBounds(nz.Row)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		for _, nz := range p.Col(j) {
+			act[nz.Row] += nz.Val * d
+		}
+		x[j] += d
+		return true
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for _, j := range bins {
+			d := 1 - 2*x[j] // 0→1 or 1→0
+			if p.Obj(j)*d < -1e-9 && delta(j, d) {
+				obj += p.Obj(j) * d
+				improved = true
+			}
+		}
+		if len(bins) <= 400 {
+			for _, j := range bins {
+				if x[j] != 1 {
+					continue
+				}
+				for _, k := range bins {
+					if x[k] != 0 || p.Obj(k)-p.Obj(j) >= -1e-9 {
+						continue
+					}
+					// Take j out, then try k in; undo if k does not fit.
+					if !delta(j, -1) {
+						continue
+					}
+					if delta(k, 1) {
+						obj += p.Obj(k) - p.Obj(j)
+						improved = true
+						break
+					}
+					delta(j, 1)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return obj
+}

@@ -42,8 +42,8 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -138,6 +138,16 @@ type engine struct {
 	start   time.Time
 	pool    *pool
 
+	// Cutting-plane state (nil when cuts are disabled): the immutable
+	// separation context, the shared append-only pool, and how many pool
+	// cuts e.p already carries as rows (the root cuts — workers start
+	// their applied counter there).
+	sep      *separator
+	cuts     *cutPool
+	cutBase  int
+	trueRows int     // rows of the original model; rows past this are cuts
+	objStep  float64 // objective lattice granularity (0 = no rounding)
+
 	nodes   atomic.Int64
 	lpIters atomic.Int64
 	incBits atomic.Uint64 // float64 bits of the incumbent objective
@@ -153,7 +163,7 @@ type engine struct {
 }
 
 func newEngine(p *lp.Problem, integer []bool, opts *Options, start time.Time) *engine {
-	e := &engine{p: p, integer: integer, opts: opts, start: start, pool: newPool()}
+	e := &engine{p: p, integer: integer, opts: opts, start: start, pool: newPool(), trueRows: p.NumRows()}
 	for j, isInt := range integer {
 		if isInt {
 			e.intCols = append(e.intCols, j)
@@ -164,6 +174,16 @@ func newEngine(p *lp.Problem, integer []bool, opts *Options, start time.Time) *e
 }
 
 func (e *engine) incObj() float64 { return math.Float64frombits(e.incBits.Load()) }
+
+// tighten rounds an LP bound up to the objective lattice (see
+// objGranularity): no integer point can land strictly between lattice
+// values, so the rounded bound prunes just as safely and much earlier.
+func (e *engine) tighten(b float64) float64 {
+	if e.objStep == 0 || math.IsInf(b, 0) {
+		return b
+	}
+	return e.objStep * math.Ceil(b/e.objStep-1e-6)
+}
 
 // gapAbs is the absolute slack implied by the relative gap at the
 // current incumbent (infinite while no incumbent exists, so nothing is
@@ -209,7 +229,7 @@ func (e *engine) run(rootSol *lp.Solution, res *Result) {
 	// The root node re-enters the engine with the root basis in hand,
 	// so its LP re-solve is a warm no-op rather than a repeat of the
 	// root relaxation.
-	e.pool.push(&node{bound: rootSol.Obj, basis: rootSol.Basis})
+	e.pool.push(&node{bound: e.tighten(rootSol.Obj), basis: rootSol.Basis})
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.Workers; w++ {
 		wg.Add(1)
@@ -240,13 +260,14 @@ func (e *engine) run(rootSol *lp.Solution, res *Result) {
 // workerCtx is the per-worker mutable state: a problem clone, the root
 // bounds of every column it may tighten, and scratch slices.
 type workerCtx struct {
-	prob    *lp.Problem
-	rootLo  []float64
-	rootHi  []float64
-	applied []int // columns currently holding non-root bounds
-	path    []bchange
-	act     []float64 // feasibility-check scratch
-	lpOpts  lp.Options
+	prob        *lp.Problem
+	rootLo      []float64
+	rootHi      []float64
+	applied     []int // columns currently holding non-root bounds
+	path        []bchange
+	act         []float64 // feasibility-check scratch
+	lpOpts      lp.Options
+	cutsApplied int // pool-cut prefix length present as rows in prob
 }
 
 func (e *engine) worker() {
@@ -260,10 +281,21 @@ func (e *engine) worker() {
 	if e.opts.LP != nil {
 		w.lpOpts = *e.opts.LP
 	}
+	w.cutsApplied = e.cutBase
 	for {
 		nd := e.pool.pop()
 		if nd == nil {
 			return
+		}
+		// Pull any pool cuts other workers separated since our last
+		// node, so this dive's first LP already sees them. The pool is
+		// append-only, so clones stay row-prefix compatible and the
+		// node's (shorter-prefix) basis still warm-starts the solve.
+		if e.cuts != nil {
+			w.cutsApplied = e.cuts.apply(w.prob, w.cutsApplied)
+			if w.prob.NumRows() > len(w.act) {
+				w.act = make([]float64, w.prob.NumRows())
+			}
 		}
 		e.dive(w, nd)
 		e.pool.done()
@@ -289,6 +321,8 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 	}
 	warm := nd.basis
 	bound := nd.bound
+	recut := false          // re-solving the same node after a cut pass
+	sepDone := e.sep == nil // at most one separation pass per dive
 
 	for {
 		// Bound-based pruning against the current incumbent.
@@ -296,17 +330,22 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 		if bound >= inc-e.gapAbs(inc) {
 			return
 		}
-		seq := e.nodes.Add(1)
-		if seq > int64(e.opts.MaxNodes) {
-			e.nodes.Add(-1)
-			e.setHalt(NodeLimit)
-			return
-		}
-		// The deadline costs a syscall, so consult it every 64 nodes
-		// rather than per node.
-		if seq&63 == 0 && time.Since(e.start) > e.opts.Time {
-			e.setHalt(TimeLimit)
-			return
+		if recut {
+			// Same node, tightened by cut rows: already counted.
+			recut = false
+		} else {
+			seq := e.nodes.Add(1)
+			if seq > int64(e.opts.MaxNodes) {
+				e.nodes.Add(-1)
+				e.setHalt(NodeLimit)
+				return
+			}
+			// The deadline costs a syscall, so consult it every 64 nodes
+			// rather than per node.
+			if seq&63 == 0 && time.Since(e.start) > e.opts.Time {
+				e.setHalt(TimeLimit)
+				return
+			}
 		}
 		w.lpOpts.WarmBasis = warm
 		sol, err := w.prob.Solve(&w.lpOpts)
@@ -318,9 +357,20 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 		if sol.Status != lp.Optimal {
 			return // infeasible subtree (or numerically hopeless)
 		}
+		lpBound := e.tighten(sol.Obj)
 		inc = e.incObj()
-		if sol.Obj >= inc-e.gapAbs(inc) {
+		if lpBound >= inc-e.gapAbs(inc) {
 			return
+		}
+		// One cutting-plane pass at the pooled node: offer this point's
+		// violated cuts to the shared pool, pull in whatever the clone
+		// is missing, and re-solve the same node with the extra rows.
+		if !sepDone {
+			sepDone = true
+			if e.trySeparate(w, sol.X) {
+				warm, bound, recut = sol.Basis, lpBound, true
+				continue
+			}
 		}
 		// Find the most fractional integer column, respecting branching
 		// priorities (highest priority class first).
@@ -343,7 +393,7 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 				// The LP bound may still be below the new incumbent;
 				// keep branching unless the gap is closed.
 				inc = e.incObj()
-				if sol.Obj >= inc-e.gapAbs(inc) {
+				if lpBound >= inc-e.gapAbs(inc) {
 					return
 				}
 			}
@@ -370,13 +420,40 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 		sib := make([]bchange, len(w.path)+1)
 		copy(sib, w.path)
 		sib[len(w.path)] = far
-		e.pool.push(&node{bound: sol.Obj, changes: sib, basis: sol.Basis})
+		e.pool.push(&node{bound: lpBound, changes: sib, basis: sol.Basis})
 		w.path = append(w.path, near)
 		w.prob.SetBounds(near.col, near.lo, near.hi)
 		w.applied = append(w.applied, near.col)
 		warm = sol.Basis
-		bound = sol.Obj
+		bound = lpBound
 	}
+}
+
+// nodeCutWindow stops node-level separation once the tree has grown
+// past this many nodes: cuts found early strengthen the whole search,
+// cuts found late mostly add LP rows.
+const nodeCutWindow = 1000
+
+// trySeparate runs one separation pass at a pooled node: while the
+// search is young and the pool has room, it offers the point's violated
+// cuts to the shared pool; it then pulls every pool cut the worker's
+// clone is missing (its own and other workers'). It reports whether the
+// clone gained rows, in which case the caller re-solves the node.
+func (e *engine) trySeparate(w *workerCtx, x []float64) bool {
+	if e.nodes.Load() <= nodeCutWindow && e.cuts.len() < e.cutBase+treeCutBudget {
+		if cuts := e.sep.separate(x, 8); len(cuts) > 0 {
+			e.cuts.add(cuts)
+		}
+	}
+	n := e.cuts.apply(w.prob, w.cutsApplied)
+	if n == w.cutsApplied {
+		return false
+	}
+	w.cutsApplied = n
+	if w.prob.NumRows() > len(w.act) {
+		w.act = make([]float64, w.prob.NumRows())
+	}
+	return true
 }
 
 // tryHeuristic runs the caller's completion hook (serialized — hooks
@@ -387,7 +464,7 @@ func (e *engine) tryHeuristic(w *workerCtx, xLP []float64) bool {
 	e.heurMu.Lock()
 	cand, ok := e.opts.Heuristic(xLP)
 	e.heurMu.Unlock()
-	if !ok || !feasibleScratch(w.prob, cand, 1e-6, w.act) {
+	if !ok || !feasibleRows(w.prob, cand, 1e-6, w.act, e.trueRows) {
 		return false
 	}
 	obj := 0.0

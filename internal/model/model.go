@@ -9,8 +9,10 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/lp"
 	"repro/internal/mip"
@@ -24,6 +26,7 @@ type Model struct {
 	families map[string]int // family -> variable count
 	conCount map[string]int // constraint template -> count
 	integer  []bool
+	preInfo  atomic.Pointer[PresolveInfo] // reductions of the last presolved Solve
 }
 
 // New returns an empty model.
@@ -156,6 +159,11 @@ type Stats struct {
 	Nonzeros    int
 	Families    map[string]int
 	Templates   map[string]int
+
+	// Presolve reports the reductions applied by the most recent
+	// presolved Solve call; nil before the first solve or when
+	// presolve was disabled for it.
+	Presolve *PresolveInfo
 }
 
 // Stats computes the current model statistics.
@@ -167,6 +175,7 @@ func (m *Model) Stats() Stats {
 		Nonzeros:    m.lp.NumNonzeros(),
 		Families:    m.families,
 		Templates:   m.conCount,
+		Presolve:    m.preInfo.Load(),
 	}
 }
 
@@ -176,12 +185,77 @@ func (m *Model) FamilyCount(family string) int { return m.families[family] }
 // LP exposes the underlying problem (for bounds fixing in tests).
 func (m *Model) LP() *lp.Problem { return m.lp }
 
-// Solve runs branch and bound. Parallelism is controlled by
-// opts.Workers (default: all cores); the solver searches on clones of
-// the underlying problem, so the model itself is never mutated and may
-// be inspected (Stats, Value lookups) while a solve runs elsewhere.
+// Solve presolves the model (unless opts.Presolve < 0) and runs branch
+// and bound on the reduction. Solutions are reported in the model's
+// own coordinates — presolve's column remap is applied on the way out,
+// so Value and index-based lookups are unaffected by which columns
+// were substituted away. Parallelism is controlled by opts.Workers
+// (default: all cores); the solver searches on clones of the reduced
+// problem, so the model itself stays readable (Stats, Value lookups)
+// while a solve runs elsewhere.
 func (m *Model) Solve(opts *mip.Options) (*mip.Result, error) {
-	return mip.Solve(m.lp, m.integer, opts)
+	var o mip.Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Presolve < 0 {
+		m.preInfo.Store(nil)
+		return mip.Solve(m.lp, m.integer, &o)
+	}
+	pre := presolve(m.lp, m.integer, o.Presolve)
+	m.preInfo.Store(&pre.info)
+	if pre.infeasible {
+		return &mip.Result{Status: mip.Infeasible, Obj: math.Inf(1)}, nil
+	}
+	if pre.p.NumCols() == 0 {
+		// Presolve solved the whole model; no search needed.
+		obj := pre.objConst
+		return &mip.Result{
+			Status: mip.Optimal, X: pre.expand(nil),
+			Obj: obj, RootObj: obj, RootCutObj: obj,
+		}, nil
+	}
+	// Remap the option fields expressed in original coordinates.
+	o.ObjOffset += pre.objConst
+	if opts != nil && opts.Priority != nil {
+		pri := make([]int, pre.p.NumCols())
+		for j, rj := range pre.colMap {
+			if rj >= 0 {
+				pri[rj] = opts.Priority[j]
+			}
+		}
+		o.Priority = pri
+	}
+	if userH := o.Heuristic; userH != nil {
+		o.Heuristic = func(x []float64) ([]float64, bool) {
+			full, ok := userH(pre.expand(x))
+			if !ok {
+				return nil, false
+			}
+			red := make([]float64, pre.p.NumCols())
+			for j, rj := range pre.colMap {
+				if rj >= 0 {
+					red[rj] = full[j]
+				} else if math.Abs(full[j]-pre.fixed[j]) > 1e-6 {
+					// The completion contradicts a presolve-fixed
+					// variable, so it cannot be feasible.
+					return nil, false
+				}
+			}
+			return red, true
+		}
+	}
+	res, err := mip.Solve(pre.p, pre.integer, &o)
+	if err != nil || res == nil {
+		return res, err
+	}
+	if res.X != nil {
+		res.X = pre.expand(res.X)
+	}
+	res.Obj += pre.objConst
+	res.RootObj += pre.objConst
+	res.RootCutObj += pre.objConst
+	return res, nil
 }
 
 // Value reads a variable's value out of a solution, defaulting to 0
