@@ -104,6 +104,10 @@ func main() {
 	fmt.Printf("%d packets (%d B payload) on %d threads:\n", *threads, *payload, *threads)
 	fmt.Printf("  %d cycles (%d instrs, %d mem refs, %d swaps)\n",
 		st.Cycles, st.Instrs, st.MemRefs, st.Swaps)
+	fmt.Printf("  mem refs by space: %d sram, %d sdram, %d scratch, %d hash, %d fifo\n",
+		st.SRAMRefs, st.SDRAMRefs, st.ScratchRefs, st.HashRefs, st.FIFORefs)
+	fmt.Printf("  lost cycles: %d stalled (no runnable thread), %d waiting on memory ports\n",
+		st.StallCycles, st.PortWaitCycles)
 	fmt.Printf("  %.0f cycles/packet at %.0f MHz\n",
 		float64(st.Cycles)/float64(*threads), m.Cfg.ClockMHz)
 	fmt.Printf("  payload throughput: %.1f Mb/s per engine, ~%.1f Mb/s per chip (6 engines)\n",

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/mip"
+	"repro/internal/obs"
 )
 
 // The -json mode: run the exact BenchmarkMIPScaling workload across
@@ -42,6 +43,9 @@ type benchResult struct {
 	Cuts           int     `json:"cuts"`
 	RootObj        float64 `json:"root_obj"`
 	RootCutObj     float64 `json:"root_cut_obj"`
+	// Counters holds the obs counter deltas over this worker count's
+	// benchReps solves (DESIGN.md §8); zero deltas are omitted.
+	Counters obs.Snapshot `json:"counters"`
 }
 
 const benchReps = 3
@@ -68,6 +72,7 @@ func writeBenchJSON(path string) error {
 	for _, cpu := range []int{1, 2, 4, 8} {
 		opts := mipOptions()
 		opts.Workers = cpu
+		base := obs.TakeSnapshot()
 		var total time.Duration
 		var last *mip.Result
 		for rep := 0; rep < benchReps; rep++ {
@@ -88,6 +93,7 @@ func writeBenchJSON(path string) error {
 			Cuts:           last.Cuts,
 			RootObj:        round4(last.RootObj),
 			RootCutObj:     round4(last.RootCutObj),
+			Counters:       obs.Since(base),
 		})
 		fmt.Fprintf(os.Stderr, "cpu=%d: %v/op, %d nodes, %d cuts\n",
 			cpu, total/benchReps, last.Nodes, last.Cuts)

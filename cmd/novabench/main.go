@@ -7,23 +7,30 @@
 // Usage:
 //
 //	novabench [-table fig5|fig6|fig7|throughput|all] [-cuts=false]
-//	          [-presolve=false] [-json BENCH_mip.json]
+//	          [-presolve=false] [-json BENCH_mip.json] [-pprof :6060]
 //
 // With -json, novabench instead runs the MIP scaling workload (the
 // same instance as BenchmarkMIPScaling) across worker counts and
 // writes a machine-readable record to the given path — this is how
 // BENCH_mip.json is regenerated.
+//
+// With -pprof, an HTTP server on the given address serves
+// net/http/pprof profiles at /debug/pprof/ and the obs counter values
+// at /debug/counters while the benchmarks run (DESIGN.md §8).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/ixp"
 	"repro/internal/mip"
 	"repro/internal/nova"
+	"repro/internal/obs"
 	"repro/internal/pktgen"
 	"repro/internal/workloads"
 )
@@ -77,7 +84,25 @@ func compile(w wl) *nova.Compilation {
 func main() {
 	which := flag.String("table", "all", "table to print: fig5, fig6, fig7, throughput, all")
 	jsonOut := flag.String("json", "", "run the MIP scaling workload and write a JSON benchmark record to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/counters on this address while running")
 	flag.Parse()
+	if *pprofAddr != "" {
+		// DefaultServeMux already carries the /debug/pprof/ handlers
+		// from the blank net/http/pprof import.
+		http.HandleFunc("/debug/counters", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap := obs.TakeSnapshot()
+			for _, name := range snap.Names() {
+				fmt.Fprintf(w, "%s %d\n", name, snap[name])
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof/ and /debug/counters on %s\n", *pprofAddr)
+	}
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	novac [-entry main] [-print cps|mir|asm] [-stats] [-no-prune]
-//	      [-no-coarsen] [-remat] [-cuts=false] [-presolve=false] file.nova
+//	      [-no-coarsen] [-remat] [-cuts=false] [-presolve=false]
+//	      [-trace out.json] file.nova
+//
+// -stats prints per-phase wall time and the solver/simulator counters
+// collected during the compile; -trace writes the same window as a
+// Chrome trace_event file loadable in Perfetto (see DESIGN.md §8).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/mip"
 	"repro/internal/nova"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +38,7 @@ func main() {
 	cuts := flag.Bool("cuts", true, "root-node cutting planes in the ILP solve")
 	presolve := flag.Bool("presolve", true, "ILP presolve reductions before the solve")
 	lpOut := flag.String("lp", "", "write the generated integer program to this file (CPLEX LP format)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the compile to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: novac [flags] file.nova")
@@ -57,6 +64,12 @@ func main() {
 		opts.MIP.Presolve = -1
 	}
 
+	// -stats and -trace both observe the compile through one recorder
+	// window (DESIGN.md §8); spans cost nothing when neither is given.
+	var rec *obs.Recorder
+	if *stats || *traceOut != "" {
+		rec = obs.Start("novac " + path)
+	}
 	start := time.Now()
 	comp, err := nova.Compile(path, string(src), opts)
 	if err != nil {
@@ -64,6 +77,21 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if rec != nil {
+		obs.Stop()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	if *lpOut != "" {
 		f, err := os.Create(*lpOut)
@@ -100,6 +128,7 @@ func main() {
 			comp.Alloc.NumMoves(), comp.Alloc.Spills, comp.Alloc.Remats, comp.Assign.Coalesced)
 		fmt.Printf("code: %d instruction words\n", comp.Asm.CodeWords())
 		fmt.Printf("compile time: %v\n", elapsed.Round(time.Millisecond))
+		rec.WriteText(os.Stdout)
 	}
 	switch *print {
 	case "ast":

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mip"
 	"repro/internal/mir"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // MoveRec is one physical relocation chosen by the solver.
@@ -61,11 +62,15 @@ func (r *Result) WriteLP(w io.Writer) error { return r.model.WriteLP(w) }
 // the color-completion heuristic installed here is safe under that
 // parallelism because the solver serializes heuristic calls.
 func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, error) {
+	sp := obs.StartSpan("phase/alloc/graph")
 	g, err := buildGraph(mp, opts)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan("phase/alloc/model")
 	il, err := buildModel(g)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +96,9 @@ func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, err
 	// The relative gap is measured against the full move cost,
 	// including the part fixed by pinned arcs.
 	mipOpts.ObjOffset = il.objConst
+	sp = obs.StartSpan("phase/alloc/solve")
 	res, err := il.m.Solve(mipOpts)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +112,10 @@ func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, err
 		}
 		// A feasible incumbent within the node/time budget is usable.
 	}
-	return il.extract(res)
+	sp = obs.StartSpan("phase/alloc/extract")
+	out, err := il.extract(res)
+	sp.End()
+	return out, err
 }
 
 // extract reads the solution back into a Result.

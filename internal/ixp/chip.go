@@ -114,6 +114,13 @@ func (c *Chip) Run(maxCycles int64) (*Stats, error) {
 		total.Instrs += st.Instrs
 		total.MemRefs += st.MemRefs
 		total.Swaps += st.Swaps
+		total.SRAMRefs += st.SRAMRefs
+		total.SDRAMRefs += st.SDRAMRefs
+		total.ScratchRefs += st.ScratchRefs
+		total.HashRefs += st.HashRefs
+		total.FIFORefs += st.FIFORefs
+		total.StallCycles += st.StallCycles
+		total.PortWaitCycles += st.PortWaitCycles
 		total.Results = append(total.Results, st.Results...)
 	}
 	return total, nil

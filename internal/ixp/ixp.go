@@ -1,14 +1,3 @@
-// Package ixp is a cycle-level simulator of an IXP1200 micro-engine as
-// seen by compiled Nova programs (Figure 1 of the paper): per-thread
-// A/B general-purpose banks, SRAM-side (L/S) and SDRAM-side (LD/SD)
-// transfer banks, shared scratch/SRAM/SDRAM memory, the hash unit, and
-// hardware multi-threading that swaps contexts to hide memory latency.
-//
-// The clock and latency parameters approximate the 233 MHz IXP1200 the
-// paper measures (§11): what the simulator preserves is the relative
-// cost structure — single-cycle ALU operations against tens-of-cycles
-// memory references — which determines the shape of the throughput
-// results.
 package ixp
 
 import (
@@ -18,7 +7,25 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/cps"
+	"repro/internal/obs"
 	"repro/internal/types"
+)
+
+// Simulator counters (DESIGN.md §8): tallied in plain Machine fields
+// while an engine runs (each engine ticks on one goroutine) and flushed
+// with atomic adds when a run's statistics are collected, so the
+// cycle-accurate loop carries no instrumentation cost.
+var (
+	cIxpCycles    = obs.NewCounter("ixp/cycles")
+	cIxpInstrs    = obs.NewCounter("ixp/instrs")
+	cIxpSwaps     = obs.NewCounter("ixp/swaps")
+	cIxpSRAMRefs  = obs.NewCounter("ixp/sram_refs")
+	cIxpSDRAMRefs = obs.NewCounter("ixp/sdram_refs")
+	cIxpScratch   = obs.NewCounter("ixp/scratch_refs")
+	cIxpHashRefs  = obs.NewCounter("ixp/hash_refs")
+	cIxpFIFORefs  = obs.NewCounter("ixp/fifo_refs")
+	cIxpStalls    = obs.NewCounter("ixp/stall_cycles")
+	cIxpPortWait  = obs.NewCounter("ixp/port_wait_cycles")
 )
 
 // Config sets the machine parameters.
@@ -84,6 +91,17 @@ type Machine struct {
 	clock int64
 	cur   int
 	swaps int64
+
+	// Per-run telemetry, reset by Load and flushed to the ixp/ obs
+	// counters by stats. Plain fields: an engine ticks on one
+	// goroutine, so the hot loop pays no synchronization.
+	sramRefs    int64
+	sdramRefs   int64
+	scratchRefs int64
+	hashRefs    int64
+	fifoRefs    int64
+	stallCycles int64 // cycles every thread slept (latency not hidden)
+	portWait    int64 // cycles references waited for a busy memory port
 
 	// Memory units shared across the engines of a chip; accesses
 	// occupy a unit for a few cycles, so engines contend for
@@ -159,6 +177,9 @@ func (m *Machine) Load(p *asm.Program) {
 	m.clock = 0
 	m.cur = -1
 	m.swaps = 0
+	m.sramRefs, m.sdramRefs, m.scratchRefs = 0, 0, 0
+	m.hashRefs, m.fifoRefs = 0, 0
+	m.stallCycles, m.portWait = 0, 0
 	for _, u := range m.units {
 		u.nextFree = 0
 	}
@@ -183,13 +204,25 @@ func (m *Machine) SetRX(threadID int, words []uint32) {
 	m.threads[threadID].rx = append([]uint32(nil), words...)
 }
 
-// Stats reports a run's outcome.
+// Stats reports a run's outcome. The reference counts split MemRefs by
+// memory space, and the two cycle-accounting fields attribute lost
+// time: StallCycles is time no thread was runnable (memory latency the
+// thread swapping could not hide), PortWaitCycles is time references
+// queued behind a busy memory port (bandwidth contention).
 type Stats struct {
 	Cycles  int64
 	Instrs  int64
 	MemRefs int64
 	Swaps   int64
 	Results [][]uint32 // per running thread, halt results
+
+	SRAMRefs       int64
+	SDRAMRefs      int64
+	ScratchRefs    int64
+	HashRefs       int64
+	FIFORefs       int64
+	StallCycles    int64
+	PortWaitCycles int64
 }
 
 // Seconds converts cycles to wall-clock time at the configured clock.
@@ -241,6 +274,7 @@ func (m *Machine) tick() (done bool, err error) {
 		if minWake <= m.clock {
 			return false, fmt.Errorf("ixp: scheduler stuck at cycle %d", m.clock)
 		}
+		m.stallCycles += minWake - m.clock
 		m.clock = minWake
 		return false, nil
 	}
@@ -281,7 +315,12 @@ func (m *Machine) Run(maxCycles int64) (*Stats, error) {
 }
 
 func (m *Machine) stats() (*Stats, error) {
-	st := &Stats{Cycles: m.clock, Swaps: m.swaps}
+	st := &Stats{
+		Cycles: m.clock, Swaps: m.swaps,
+		SRAMRefs: m.sramRefs, SDRAMRefs: m.sdramRefs, ScratchRefs: m.scratchRefs,
+		HashRefs: m.hashRefs, FIFORefs: m.fifoRefs,
+		StallCycles: m.stallCycles, PortWaitCycles: m.portWait,
+	}
 	for _, t := range m.threads {
 		st.Instrs += t.instrs
 		st.MemRefs += t.memRefs
@@ -292,7 +331,37 @@ func (m *Machine) stats() (*Stats, error) {
 			return st, fmt.Errorf("ixp: cycle budget exhausted (thread %d at pc %d)", t.id, t.pc)
 		}
 	}
+	m.flushCounters(st)
 	return st, nil
+}
+
+// flushCounters publishes a run's tallies to the process-wide ixp/
+// counters, once per collection.
+func (m *Machine) flushCounters(st *Stats) {
+	cIxpCycles.Add(st.Cycles)
+	cIxpInstrs.Add(st.Instrs)
+	cIxpSwaps.Add(st.Swaps)
+	cIxpSRAMRefs.Add(st.SRAMRefs)
+	cIxpSDRAMRefs.Add(st.SDRAMRefs)
+	cIxpScratch.Add(st.ScratchRefs)
+	cIxpHashRefs.Add(st.HashRefs)
+	cIxpFIFORefs.Add(st.FIFORefs)
+	cIxpStalls.Add(st.StallCycles)
+	cIxpPortWait.Add(st.PortWaitCycles)
+}
+
+// noteRef tallies one memory reference against its space.
+func (m *Machine) noteRef(space cps.Space) {
+	switch space {
+	case cps.SpaceSRAM:
+		m.sramRefs++
+	case cps.SpaceSDRAM:
+		m.sdramRefs++
+	case cps.SpaceScratch:
+		m.scratchRefs++
+	case cps.SpaceRFIFO, cps.SpaceTFIFO:
+		m.fifoRefs++
+	}
 }
 
 func (t *thread) get(o asm.Operand) uint32 {
@@ -340,6 +409,7 @@ func (m *Machine) step(t *thread, cycle int64) (int, error) {
 		t.pc++
 	case asm.OpRead:
 		t.memRefs++
+		m.noteRef(in.Space)
 		addr := t.get(in.Addr)
 		var lat int
 		if in.Space == cps.SpaceRFIFO {
@@ -379,10 +449,12 @@ func (m *Machine) step(t *thread, cycle int64) (int, error) {
 			return block(lat)
 		}
 		g := m.units[in.Space].grant(cycle + 1)
+		m.portWait += g - (cycle + 1)
 		t.wakeAt = g + int64(lat)
 		return 1, nil
 	case asm.OpWrite:
 		t.memRefs++
+		m.noteRef(in.Space)
 		addr := t.get(in.Addr)
 		if in.Space == cps.SpaceTFIFO {
 			for i := 0; i < in.Count; i++ {
@@ -411,18 +483,22 @@ func (m *Machine) step(t *thread, cycle int64) (int, error) {
 		}
 		// Writes retire asynchronously; the thread keeps running, but
 		// the reference still consumes port bandwidth.
-		m.units[in.Space].grant(cycle + 1)
+		g := m.units[in.Space].grant(cycle + 1)
+		m.portWait += g - (cycle + 1)
 		t.pc++
 	case asm.OpHash:
 		t.memRefs++
+		m.hashRefs++
 		v := t.regs[core.S][in.Base]
 		t.regs[core.L][in.Dst.Idx] = cps.DefaultHash(v)
 		t.pc++
 		g := m.hashUnit.grant(cycle + 1)
+		m.portWait += g - (cycle + 1)
 		t.wakeAt = g + int64(m.Cfg.HashLatency)
 		return 1, nil
 	case asm.OpBTS:
 		t.memRefs++
+		m.sramRefs++
 		addr := t.get(in.Addr)
 		if int(addr) >= len(m.SRAM) {
 			return 0, fmt.Errorf("bts address %d out of range", addr)
@@ -433,6 +509,7 @@ func (m *Machine) step(t *thread, cycle int64) (int, error) {
 		t.pc++
 		u := m.units[cps.SpaceSRAM]
 		g := u.grant(cycle + 1)
+		m.portWait += g - (cycle + 1)
 		u.grant(g) // read-modify-write holds the port twice
 		t.wakeAt = g + int64(m.Cfg.SRAMLatency)
 		return 1, nil

@@ -1,0 +1,36 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// primal simplex over sparse columns with a product-form-of-the-inverse
+// basis representation. It is the substrate under the branch-and-bound
+// MIP solver that stands in for CPLEX in this reproduction.
+//
+// Problems are stated as
+//
+//	minimize    c'x
+//	subject to  rowLo <= Ax <= rowHi,   lo <= x <= hi
+//
+// Internally every row gets a logical (slack) variable s with bounds
+// [rowLo, rowHi] and the equation a'x - s = 0, giving the computational
+// form  [A | -I] (x, s) = 0  whose slack basis is always nonsingular.
+//
+// # Usage
+//
+// Build a problem column by column, then solve:
+//
+//	p := lp.NewProblem()
+//	x := p.AddCol(1.0, 0, lp.Inf)                   // objective coeff, bounds
+//	y := p.AddCol(2.0, 0, lp.Inf)
+//	p.AddRow(1, 3, []int{x, y}, []float64{1, 1})    // 1 <= x + y <= 3
+//	sol, err := p.Solve(nil)
+//	if err == nil && sol.Status == lp.Optimal {
+//		_ = sol.X[x] + sol.X[y]                 // primal values
+//	}
+//
+// Solution.Basis snapshots the final basis; passing it back through
+// Options.WarmBasis after bound changes warm-starts the re-solve, which is
+// how the MIP tree search above this package pays a handful of pivots
+// per node instead of a full solve.
+//
+// The lp/ observability counters (lp/solves, lp/iterations,
+// lp/degenerate_pivots, lp/bland_activations, lp/refactorizations) are
+// always on and are read via obs.TakeSnapshot — see DESIGN.md §8.
+package lp

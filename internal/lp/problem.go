@@ -1,16 +1,3 @@
-// Package lp implements a linear-programming solver: a bounded-variable
-// primal simplex over sparse columns with a product-form-of-the-inverse
-// basis representation. It is the substrate under the branch-and-bound
-// MIP solver that stands in for CPLEX in this reproduction.
-//
-// Problems are stated as
-//
-//	minimize    c'x
-//	subject to  rowLo <= Ax <= rowHi,   lo <= x <= hi
-//
-// Internally every row gets a logical (slack) variable s with bounds
-// [rowLo, rowHi] and the equation a'x - s = 0, giving the computational
-// form  [A | -I] (x, s) = 0  whose slack basis is always nonsingular.
 package lp
 
 import (

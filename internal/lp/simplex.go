@@ -3,6 +3,19 @@ package lp
 import (
 	"math"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Solver-effort counters (DESIGN.md §8). They are accumulated in plain
+// simplex fields during a solve — the pivot loop pays nothing — and
+// flushed with a handful of atomic adds when the solve returns.
+var (
+	cSolves    = obs.NewCounter("lp/solves")
+	cIters     = obs.NewCounter("lp/iterations")
+	cDegen     = obs.NewCounter("lp/degenerate_pivots")
+	cBland     = obs.NewCounter("lp/bland_activations")
+	cRefactors = obs.NewCounter("lp/refactorizations")
 )
 
 // Variable states. Structural variables are 0..n-1; the slack of row r
@@ -49,6 +62,11 @@ type simplex struct {
 	// degeneracy handling
 	degenerate int
 	bland      bool
+	// observability tallies, flushed to the package counters once per
+	// solve (degenerate above is the *consecutive* count that triggers
+	// Bland's rule; degenTotal never resets).
+	degenTotal int
+	refactors  int
 }
 
 func newSimplex(p *Problem, opts *Options) *simplex {
@@ -173,7 +191,20 @@ func (s *simplex) value(j int) float64 {
 	return s.nonbasicValue(j)
 }
 
+// flushStats publishes the solve's effort tallies to the package
+// counters — a few atomic adds, once per solve.
+func (s *simplex) flushStats() {
+	cSolves.Inc()
+	cIters.Add(int64(s.iter))
+	cDegen.Add(int64(s.degenTotal))
+	cRefactors.Add(int64(s.refactors))
+	if s.bland {
+		cBland.Inc()
+	}
+}
+
 func (s *simplex) solve() (*Solution, error) {
+	defer s.flushStats()
 	if err := s.p.check(); err != nil {
 		return &Solution{Status: Infeasible}, err
 	}
@@ -506,6 +537,7 @@ func (s *simplex) run(phase1 bool) Status {
 		}
 		if limit <= 1e-11 {
 			s.degenerate++
+			s.degenTotal++
 			if s.degenerate > 1000 {
 				s.bland = true
 			}
@@ -597,6 +629,7 @@ func (s *simplex) btran(y []float64) {
 // refactor rebuilds the eta file from the current basis and recomputes
 // the basic values. Singular bases are repaired by swapping in slacks.
 func (s *simplex) refactor() {
+	s.refactors++
 	s.etas = s.etas[:0]
 	// Process basis columns in order of increasing sparsity.
 	type slot struct {

@@ -1,14 +1,3 @@
-// Package mip implements a 0-1 / integer branch-and-bound solver on top
-// of the lp package — the stand-in for CPLEX (§5, §11 of the paper).
-// The paper solves its models to within 0.01% of optimal; that is this
-// solver's default relative gap as well.
-//
-// The search runs as a shared best-bound node pool drained by N worker
-// goroutines (Options.Workers). Each worker owns a clone of the
-// problem, replays a node's bound-change path onto it, and solves the
-// node LP warm-started from the parent's basis; after branching it
-// dives depth-first into the nearer child (keeping the basis in hand)
-// while the sibling goes back to the pool.
 package mip
 
 import (
@@ -17,6 +6,20 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
+)
+
+// Search-effort counters and the open-pool high-water mark (DESIGN.md
+// §8). Totals are flushed once per Solve; per-worker breakdowns live
+// under mip/worker<N>/ (see search.go).
+var (
+	cMIPSolves    = obs.NewCounter("mip/solves")
+	cMIPNodes     = obs.NewCounter("mip/nodes")
+	cMIPCutsRoot  = obs.NewCounter("mip/cuts_root")
+	cMIPCutsTree  = obs.NewCounter("mip/cuts_tree")
+	cMIPIncumb    = obs.NewCounter("mip/incumbents")
+	cMIPHeurCalls = obs.NewCounter("mip/heuristic_calls")
+	gMIPPoolPeak  = obs.NewGauge("mip/pool_peak")
 )
 
 // Options tunes the search. Out-of-range values (negative Workers or
@@ -151,7 +154,9 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 
 	// Root relaxation.
 	rootStart := time.Now()
+	rootSp := obs.StartSpan("mip/root_lp")
 	rootSol, err := p.Solve(o.LP)
+	rootSp.End()
 	res.RootTime = time.Since(rootStart)
 	if err != nil {
 		return nil, err
@@ -180,6 +185,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	var cpool *cutPool
 	cutBase := 0
 	if o.CutRounds >= 0 {
+		cutSp := obs.StartSpan("mip/cut_loop")
 		sep = newSeparator(p, integer)
 		cpool = newCutPool()
 		rounds := o.CutRounds
@@ -216,6 +222,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 			cpool.apply(work, before)
 			warm, err := work.Solve(warmOpts(o.LP, sol.Basis))
 			if err != nil {
+				cutSp.End()
 				return nil, err
 			}
 			res.LPIters += warm.Iters
@@ -225,6 +232,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 				res.Status = Infeasible
 				res.Cuts = cpool.len()
 				res.Time = time.Since(start)
+				cutSp.End()
 				return res, nil
 			}
 			if warm.Status != lp.Optimal {
@@ -261,6 +269,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		rootSol = sol
 		res.RootCutObj = sol.Obj
 		cutBase = cpool.len()
+		cutSp.End()
 	}
 
 	e := newEngine(work, integer, &o, start)
@@ -279,6 +288,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	// tree harder than any cut row. All candidates are verified against
 	// the original rows — the incumbent need only satisfy true
 	// constraints.
+	heurSp := obs.StartSpan("mip/root_heuristics")
 	bestObj := math.Inf(1)
 	var bestX []float64
 	if o.seedX != nil {
@@ -318,11 +328,20 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	if bestX != nil {
 		e.offerIncumbent(bestObj, bestX)
 	}
+	heurSp.End()
+	searchSp := obs.StartSpan("mip/search")
 	e.run(rootSol, res)
+	searchSp.End()
 	if cpool != nil {
 		res.Cuts = cpool.len()
 	}
 	res.Time = time.Since(start)
+	cMIPSolves.Inc()
+	cMIPNodes.Add(int64(res.Nodes))
+	cMIPCutsRoot.Add(int64(cutBase))
+	if cpool != nil {
+		cMIPCutsTree.Add(int64(cpool.len() - cutBase))
+	}
 	return res, e.err
 }
 

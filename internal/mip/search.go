@@ -3,12 +3,14 @@ package mip
 import (
 	"container/heap"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 var (
@@ -88,7 +90,9 @@ func (q *pool) push(nd *node) {
 	nd.seq = q.nextSeq
 	q.nextSeq++
 	heap.Push(&q.nodes, nd)
+	depth := len(q.nodes)
 	q.mu.Unlock()
+	gMIPPoolPeak.SetMax(int64(depth))
 	q.cond.Signal()
 }
 
@@ -202,6 +206,7 @@ func (e *engine) offerIncumbent(obj float64, x []float64) bool {
 	}
 	e.incX = x
 	e.incBits.Store(math.Float64bits(obj))
+	cMIPIncumb.Inc()
 	return true
 }
 
@@ -233,10 +238,10 @@ func (e *engine) run(rootSol *lp.Solution, res *Result) {
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			e.worker()
-		}()
+			e.worker(id)
+		}(w)
 	}
 	wg.Wait()
 
@@ -268,10 +273,31 @@ type workerCtx struct {
 	act         []float64 // feasibility-check scratch
 	lpOpts      lp.Options
 	cutsApplied int // pool-cut prefix length present as rows in prob
+
+	// Telemetry tallies (plain ints — each workerCtx is owned by one
+	// goroutine), flushed to mip/worker<N>/ counters at worker exit.
+	statNodes      int64
+	statCuts       int64
+	statIncumbents int64
 }
 
-func (e *engine) worker() {
+// worker drains the pool until the search ends. Each worker runs under
+// its own span track (tid id+1) so parallel dives are visible side by
+// side in the trace viewer, and flushes its node/cut/incumbent tallies
+// to the per-worker counters on exit.
+func (e *engine) worker(id int) {
+	if obs.Enabled() {
+		obs.NameThread(id+1, fmt.Sprintf("mip worker %d", id))
+	}
+	sp := obs.StartSpanTID("mip/worker", id+1)
+	defer sp.End()
 	w := &workerCtx{prob: e.p.Clone(), act: make([]float64, e.p.NumRows())}
+	defer func() {
+		prefix := fmt.Sprintf("mip/worker%d/", id)
+		obs.NewCounter(prefix + "nodes").Add(w.statNodes)
+		obs.NewCounter(prefix + "cuts").Add(w.statCuts)
+		obs.NewCounter(prefix + "incumbents").Add(w.statIncumbents)
+	}()
 	n := e.p.NumCols()
 	w.rootLo = make([]float64, n)
 	w.rootHi = make([]float64, n)
@@ -340,6 +366,7 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 				e.setHalt(NodeLimit)
 				return
 			}
+			w.statNodes++
 			// The deadline costs a syscall, so consult it every 64 nodes
 			// rather than per node.
 			if seq&63 == 0 && time.Since(e.start) > e.opts.Time {
@@ -390,6 +417,7 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 		}
 		if branchCol >= 0 && e.opts.Heuristic != nil {
 			if e.tryHeuristic(w, sol.X) {
+				w.statIncumbents++
 				// The LP bound may still be below the new incumbent;
 				// keep branching unless the gap is closed.
 				inc = e.incObj()
@@ -404,7 +432,9 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 			for _, j := range e.intCols {
 				x[j] = math.Round(x[j])
 			}
-			e.offerIncumbent(sol.Obj, x)
+			if e.offerIncumbent(sol.Obj, x) {
+				w.statIncumbents++
+			}
 			return
 		}
 		x := sol.X[branchCol]
@@ -442,7 +472,7 @@ const nodeCutWindow = 1000
 func (e *engine) trySeparate(w *workerCtx, x []float64) bool {
 	if e.nodes.Load() <= nodeCutWindow && e.cuts.len() < e.cutBase+treeCutBudget {
 		if cuts := e.sep.separate(x, 8); len(cuts) > 0 {
-			e.cuts.add(cuts)
+			w.statCuts += int64(e.cuts.add(cuts))
 		}
 	}
 	n := e.cuts.apply(w.prob, w.cutsApplied)
@@ -461,6 +491,7 @@ func (e *engine) trySeparate(w *workerCtx, x []float64) bool {
 // against the worker's node-bounded problem, and offers it as an
 // incumbent. It reports whether the incumbent improved.
 func (e *engine) tryHeuristic(w *workerCtx, xLP []float64) bool {
+	cMIPHeurCalls.Inc()
 	e.heurMu.Lock()
 	cand, ok := e.opts.Heuristic(xLP)
 	e.heurMu.Unlock()

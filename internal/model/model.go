@@ -1,10 +1,3 @@
-// Package model is a small AMPL-like modeling layer over the LP/MIP
-// solvers (the paper, §5, uses AMPL to describe, generate, and solve
-// its integer linear programs). It provides what the paper's models
-// need: families of 0-1 variables indexed by tuples drawn from sets,
-// linear expression building, named constraint templates, and model
-// statistics (variable, constraint, and objective-term counts as
-// reported in Figures 6 and 7).
 package model
 
 import (
@@ -16,6 +9,17 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/mip"
+	"repro/internal/obs"
+)
+
+// Presolve-reduction counters (DESIGN.md §8), bumped once per
+// presolved Solve so a window's deltas show how much the modeling
+// layer removed before the tree search saw the problem.
+var (
+	cPreSolves  = obs.NewCounter("mip/presolve/solves")
+	cPreFixed   = obs.NewCounter("mip/presolve/fixed_vars")
+	cPreDropped = obs.NewCounter("mip/presolve/dropped_rows")
+	cPreRounds  = obs.NewCounter("mip/presolve/rounds")
 )
 
 // Model is an ILP under construction.
@@ -202,7 +206,13 @@ func (m *Model) Solve(opts *mip.Options) (*mip.Result, error) {
 		m.preInfo.Store(nil)
 		return mip.Solve(m.lp, m.integer, &o)
 	}
+	sp := obs.StartSpan("mip/presolve")
 	pre := presolve(m.lp, m.integer, o.Presolve)
+	sp.End()
+	cPreSolves.Inc()
+	cPreFixed.Add(int64(pre.info.FixedVars))
+	cPreDropped.Add(int64(pre.info.DroppedRows))
+	cPreRounds.Add(int64(pre.info.Rounds))
 	m.preInfo.Store(&pre.info)
 	if pre.infeasible {
 		return &mip.Result{Status: mip.Infeasible, Obj: math.Inf(1)}, nil

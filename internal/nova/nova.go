@@ -14,6 +14,7 @@ import (
 	"repro/internal/isel"
 	"repro/internal/mip"
 	"repro/internal/mir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/source"
@@ -85,41 +86,68 @@ func Compile(name, src string, opts Options) (*Compilation, error) {
 	errs := source.NewErrorList(f)
 	c := &Compilation{File: f}
 
+	// Every pipeline stage runs under a phase/ span (DESIGN.md §8); the
+	// enclosing phase/compile span is what the -trace coverage check
+	// measures against.
+	total := obs.StartSpan("phase/compile")
+	defer total.End()
+
+	sp := obs.StartSpan("phase/parse")
 	c.AST = parser.Parse(f, errs)
+	sp.End()
 	if errs.HasErrors() {
 		return nil, errs
 	}
 	c.Static = staticStats(src, c.AST)
 
+	sp = obs.StartSpan("phase/typecheck")
 	c.Info = types.Check(c.AST, errs)
+	sp.End()
 	if errs.HasErrors() {
 		return nil, errs
 	}
+	sp = obs.StartSpan("phase/cps")
 	c.CPS = cps.Convert(c.Info, opts.Entry, errs)
+	sp.End()
 	if errs.HasErrors() {
 		return nil, errs
 	}
+	sp = obs.StartSpan("phase/opt")
 	c.OptStats = opt.Optimize(c.CPS)
+	sp.End()
+	sp = obs.StartSpan("phase/ssu")
 	c.SSUStats = ssu.Transform(c.CPS)
+	sp.End()
+	sp = obs.StartSpan("phase/isel")
 	c.MIR = isel.Select(c.CPS)
+	sp.End()
 
+	sp = obs.StartSpan("phase/alloc")
 	alloc, err := core.Allocate(c.MIR, opts.Alloc, opts.MIP)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	c.Alloc = alloc
-	if err := core.Verify(alloc); err != nil {
+	sp = obs.StartSpan("phase/verify")
+	err = core.Verify(alloc)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if opts.SkipAsm {
 		return c, nil
 	}
+	sp = obs.StartSpan("phase/assign")
 	asn, err := alloc.AssignRegisters()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	c.Assign = asn
+	sp = obs.StartSpan("phase/emit")
 	prog, err := asm.Emit(c.MIR, alloc, asn, opts.SpillBase)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// registry holds every counter and gauge ever created in the process.
+// Creation takes the lock; increments never do.
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Counter is a process-global monotonic counter. Increments are single
+// atomic adds: goroutine-safe, allocation-free, and always on — per-run
+// figures come from Snapshot deltas, not from resetting.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Calling NewCounter twice with one name yields the same
+// counter, so dynamically named counters (per-worker telemetry) are
+// safe to re-create.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = map[string]*Counter{}
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// Add increments the counter by n. Safe for concurrent use; never
+// allocates. A nil receiver is a no-op, so optional counters can be
+// left nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a process-global last-value (or high-water-mark) metric.
+// Unlike a Counter it is not monotonic, so Snapshot deltas report its
+// current value rather than a difference.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns the gauge registered under name, creating it on
+// first use (idempotent, like NewCounter).
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = map[string]*Gauge{}
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Set stores v as the gauge's current value. Safe for concurrent use;
+// never allocates. A nil receiver is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (a
+// lock-free high-water mark, e.g. maximum open-node pool depth).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Snapshot is a point-in-time reading of every registered counter and
+// gauge, keyed by name.
+type Snapshot map[string]int64
+
+// TakeSnapshot reads all registered counters and gauges at once. Diff
+// two snapshots with Since to get per-region figures.
+func TakeSnapshot() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s := make(Snapshot, len(registry.counters)+len(registry.gauges))
+	for name, c := range registry.counters {
+		s[name] = c.Value()
+	}
+	for name, g := range registry.gauges {
+		s[name] = g.Value()
+	}
+	return s
+}
+
+// Since returns how much every counter moved relative to base
+// (counters created after base was taken report their full value).
+// Gauges report their current value, not a difference. Zero entries
+// are omitted, so the result lists only what the region touched.
+func Since(base Snapshot) Snapshot {
+	cur := TakeSnapshot()
+	registry.mu.Lock()
+	gauges := make(map[string]bool, len(registry.gauges))
+	for name := range registry.gauges {
+		gauges[name] = true
+	}
+	registry.mu.Unlock()
+	out := Snapshot{}
+	for name, v := range cur {
+		if !gauges[name] {
+			v -= base[name]
+		}
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// Names returns the snapshot's keys sorted, for stable reporting.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("test/concurrent")
+	g := NewGauge("test/concurrent_max")
+	base := c.Value()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(id*per + int64(i))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.Value() - base; got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != (workers-1)*per+per-1 {
+		t.Fatalf("gauge max = %d, want %d", got, (workers-1)*per+per-1)
+	}
+}
+
+func TestNewCounterIdempotent(t *testing.T) {
+	a := NewCounter("test/idempotent")
+	b := NewCounter("test/idempotent")
+	if a != b {
+		t.Fatal("NewCounter returned distinct counters for one name")
+	}
+	a.Add(3)
+	if b.Value() < 3 {
+		t.Fatalf("shared counter not shared: %d", b.Value())
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Add(5)
+	c.Inc()
+	g.Set(5)
+	g.SetMax(5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil receiver reported a value")
+	}
+}
+
+// TestDisabledModeAllocs is the no-op-when-disabled guarantee: with no
+// Recorder installed, the span and counter primitives on a hot path
+// must not allocate (DESIGN.md §8; the compile hot path stays
+// instrumented because of exactly this property).
+func TestDisabledModeAllocs(t *testing.T) {
+	if Enabled() {
+		t.Fatal("a recorder is installed; disabled-mode test cannot run")
+	}
+	c := NewCounter("test/allocfree")
+	g := NewGauge("test/allocfree_gauge")
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan("phase/hot")
+		c.Add(1)
+		g.SetMax(7)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled-mode instrumentation allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	c := NewCounter("test/delta")
+	g := NewGauge("test/delta_gauge")
+	base := TakeSnapshot()
+	c.Add(41)
+	g.Set(17)
+	d := Since(base)
+	if d["test/delta"] != 41 {
+		t.Fatalf("counter delta = %d, want 41", d["test/delta"])
+	}
+	if d["test/delta_gauge"] != 17 {
+		t.Fatalf("gauge since-value = %d, want 17", d["test/delta_gauge"])
+	}
+	for name, v := range d {
+		if v == 0 {
+			t.Fatalf("zero entry %q survived Since", name)
+		}
+	}
+}
+
+func TestRecorderSpans(t *testing.T) {
+	rec := Start("test")
+	defer Stop()
+	outer := StartSpan("phase/outer")
+	inner := StartSpan("phase/inner")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	inner2 := StartSpan("phase/inner")
+	inner2.End()
+	outer.End()
+	totals := rec.SpanTotals()
+	if len(totals) != 2 {
+		t.Fatalf("totals = %+v", totals)
+	}
+	if totals[0].Name != "phase/outer" || totals[1].Name != "phase/inner" {
+		t.Fatalf("totals not in first-start order: %+v", totals)
+	}
+	if totals[1].Count != 2 {
+		t.Fatalf("inner count = %d, want 2", totals[1].Count)
+	}
+	if totals[0].Total < totals[1].Total {
+		t.Fatalf("outer (%v) shorter than nested inner (%v)", totals[0].Total, totals[1].Total)
+	}
+}
+
+func TestStopDropsInFlightSpans(t *testing.T) {
+	rec := Start("test")
+	sp := StartSpan("phase/in-flight")
+	Stop()
+	sp.End()
+	if got := len(rec.SpanTotals()); got != 0 {
+		t.Fatalf("in-flight span recorded after Stop: %d totals", got)
+	}
+	if Enabled() {
+		t.Fatal("still enabled after Stop")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rec := Start("test")
+	c := NewCounter("test/text_counter")
+	c.Add(9)
+	sp := StartSpan("phase/text")
+	sp.End()
+	Stop()
+	var b strings.Builder
+	rec.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"phase/text", "test/text_counter", "9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event record. Only the fields the
+// trace viewers read are emitted; Args carries counter values on "C"
+// events and is omitted elsewhere.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Chrome trace format, which
+// both about:tracing and Perfetto load directly.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace emits the recorded spans and the window's counter deltas
+// as Chrome trace_event JSON (the format about:tracing and Perfetto
+// load). Spans become complete ("X") events on their track; counters
+// become counter ("C") tracks sampled once at the window's end; track
+// names registered with NameThread become thread_name metadata.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	events := append([]spanEvent(nil), r.events...)
+	threads := make(map[int]string, len(r.threads))
+	for tid, name := range r.threads {
+		threads[tid] = name
+	}
+	r.mu.Unlock()
+
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	f := traceFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": r.name},
+	})
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": threads[tid]},
+		})
+	}
+	for _, e := range events {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: e.name, Cat: prefixOf(e.name), Ph: "X",
+			Ts: us(e.start), Dur: us(e.dur), Pid: 1, Tid: e.tid,
+		})
+	}
+	end := us(r.Duration())
+	deltas := r.CounterDeltas()
+	for _, name := range deltas.Names() {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: name, Cat: prefixOf(name), Ph: "C", Ts: end, Pid: 1,
+			Args: map[string]any{"value": deltas[name]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&f)
+}
+
+// prefixOf returns the layer prefix of a slash-separated name ("mip"
+// for "mip/nodes"), used as the trace event category.
+func prefixOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText renders the window human-readably: per-span wall-time
+// totals in pipeline order, then counter deltas grouped by layer
+// prefix — the format behind novac -stats' observability sections.
+func (r *Recorder) WriteText(w io.Writer) {
+	totals := r.SpanTotals()
+	if len(totals) > 0 {
+		fmt.Fprintf(w, "spans (wall time, %v window):\n", r.Duration().Round(time.Millisecond))
+		for _, t := range totals {
+			fmt.Fprintf(w, "  %-28s %10v", t.Name, t.Total.Round(time.Microsecond))
+			if t.Count > 1 {
+				fmt.Fprintf(w, "  (%d spans)", t.Count)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	deltas := r.CounterDeltas()
+	if len(deltas) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "counters:")
+	for _, name := range deltas.Names() {
+		fmt.Fprintf(w, "  %-28s %12d\n", name, deltas[name])
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeEvent mirrors the trace_event fields the viewers require; the
+// golden test decodes the writer's output into it with unknown fields
+// disallowed, so the format cannot drift silently.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// TestWriteTraceGolden checks that WriteTrace emits valid Chrome
+// trace_event JSON: an object with a traceEvents array whose "X"
+// entries carry name/ts/dur/pid/tid, whose counter deltas appear as
+// "C" entries, and whose metadata names the process and threads.
+func TestWriteTraceGolden(t *testing.T) {
+	rec := Start("golden")
+	NameThread(1, "worker 1")
+	c := NewCounter("test/golden_counter")
+	c.Add(5)
+	outer := StartSpan("phase/outer")
+	inner := StartSpan("phase/inner")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	w := StartSpanTID("mip/worker", 1)
+	w.End()
+	outer.End()
+	Stop()
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var f chromeFile
+	if err := dec.Decode(&f); err != nil {
+		t.Fatalf("trace output is not the documented JSON shape: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	var sawProcess, sawThread, sawCounter bool
+	spans := map[string]chromeEvent{}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" && e.Args["name"] == "golden" {
+				sawProcess = true
+			}
+			if e.Name == "thread_name" && e.Tid == 1 && e.Args["name"] == "worker 1" {
+				sawThread = true
+			}
+		case "X":
+			if e.Pid != 1 || e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("malformed X event: %+v", e)
+			}
+			spans[e.Name] = e
+		case "C":
+			if e.Name == "test/golden_counter" {
+				if v, ok := e.Args["value"].(float64); !ok || v != 5 {
+					t.Fatalf("counter event args = %v", e.Args)
+				}
+				sawCounter = true
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if !sawProcess || !sawThread || !sawCounter {
+		t.Fatalf("missing metadata/counter events (process %v, thread %v, counter %v)",
+			sawProcess, sawThread, sawCounter)
+	}
+	outerEv, ok1 := spans["phase/outer"]
+	innerEv, ok2 := spans["phase/inner"]
+	workerEv, ok3 := spans["mip/worker"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("spans missing from trace: %v", spans)
+	}
+	if innerEv.Ts < outerEv.Ts || innerEv.Ts+innerEv.Dur > outerEv.Ts+outerEv.Dur+1 {
+		t.Fatalf("inner span not nested in outer: outer %+v inner %+v", outerEv, innerEv)
+	}
+	if workerEv.Tid != 1 {
+		t.Fatalf("worker span on tid %d, want 1", workerEv.Tid)
+	}
+	if outerEv.Cat != "phase" || workerEv.Cat != "mip" {
+		t.Fatalf("categories: %q %q", outerEv.Cat, workerEv.Cat)
+	}
+}

@@ -1,0 +1,120 @@
+// Doccheck fails when a package exports an identifier without a doc
+// comment. It is the CI gate behind the observability layer's
+// documentation contract (DESIGN.md §8): everything a future PR adds
+// to an instrumented surface arrives documented.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck ./internal/obs [more packages...]
+//
+// Each argument is a directory containing one Go package (test files
+// are skipped). Exit status 1 lists every undocumented exported
+// declaration with its position.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [more dirs...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported declaration(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and reports undocumented
+// exported declarations, returning how many it found.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: undocumented exported %s %s\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && !receiverUnexported(d) {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					bad += checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// receiverUnexported reports whether a method's receiver type is
+// unexported — such methods are not part of the package's API surface.
+func receiverUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return !id.IsExported()
+	}
+	return false
+}
+
+// checkGenDecl reports undocumented exported types, constants, and
+// variables. A doc comment on the grouped declaration covers every
+// spec inside it, matching godoc's rendering.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) int {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return 0
+	}
+	bad := 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+				bad++
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}
