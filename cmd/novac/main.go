@@ -7,6 +7,7 @@
 //
 //	novac [-entry main] [-print cps|mir|asm] [-stats] [-no-prune]
 //	      [-no-coarsen] [-remat] [-cuts=false] [-presolve=false]
+//	      [-alloc-budget 30s] [-fallback auto|off|force] [-fault spec]
 //	      [-trace out.json] file.nova
 //
 // -stats prints per-phase wall time and the solver/simulator counters
@@ -21,6 +22,8 @@ import (
 	"repro/internal/ast"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mip"
 	"repro/internal/nova"
 	"repro/internal/obs"
@@ -34,6 +37,9 @@ func main() {
 	noCoarsen := flag.Bool("no-coarsen", false, "use the per-point (paper-exact) move model")
 	remat := flag.Bool("remat", false, "enable the §12 constant bank C")
 	timeout := flag.Duration("solve-timeout", 4*time.Minute, "ILP solve budget")
+	allocBudget := flag.Duration("alloc-budget", 0, "hard allocation budget; overrides -solve-timeout and falls back to the greedy allocator when no incumbent exists at expiry")
+	fallbackMode := flag.String("fallback", "auto", "greedy fallback allocator policy: auto, off, force")
+	faultSpec := flag.String("fault", "", "fault-injection plan, e.g. 'mip/worker_panic@1,lp/refactor_fail@1' (testing)")
 	jobs := flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
 	cuts := flag.Bool("cuts", true, "root-node cutting planes in the ILP solve")
 	presolve := flag.Bool("presolve", true, "ILP presolve reductions before the solve")
@@ -56,12 +62,35 @@ func main() {
 	opts.Alloc.Prune = !*noPrune
 	opts.Alloc.Coarsen = !*noCoarsen
 	opts.Alloc.Remat = *remat
-	opts.MIP = &mip.Options{Time: *timeout, Workers: *jobs}
+	switch *fallbackMode {
+	case "auto":
+		opts.Alloc.Fallback = core.FallbackAuto
+	case "off":
+		opts.Alloc.Fallback = core.FallbackOff
+	case "force":
+		opts.Alloc.Fallback = core.FallbackForce
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fallback %q (want auto, off, or force)\n", *fallbackMode)
+		os.Exit(2)
+	}
+	budget := *timeout
+	if *allocBudget > 0 {
+		budget = *allocBudget
+	}
+	opts.MIP = &mip.Options{Time: budget, Workers: *jobs}
 	if !*cuts {
 		opts.MIP.CutRounds = -1
 	}
 	if !*presolve {
 		opts.MIP.Presolve = -1
+	}
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fault.Install(plan)
 	}
 
 	// -stats and -trace both observe the compile through one recorder
@@ -121,9 +150,13 @@ func main() {
 				ps.FixedVars, ps.DroppedRows, ps.Rounds)
 		}
 		root, total := comp.Alloc.SolveTimes()
-		fmt.Printf("solve: root %v, integer %v (%v), %d nodes, %d cuts\n",
+		alloc := "ilp"
+		if comp.Alloc.Fallback {
+			alloc = "greedy fallback"
+		}
+		fmt.Printf("solve: root %v, integer %v (%v, %s), %d nodes, %d cuts\n",
 			root.Round(time.Millisecond), total.Round(time.Millisecond),
-			comp.Alloc.MIP.Status, comp.Alloc.MIP.Nodes, comp.Alloc.MIP.Cuts)
+			comp.Alloc.MIP.Status, alloc, comp.Alloc.MIP.Nodes, comp.Alloc.MIP.Cuts)
 		fmt.Printf("solution: %d moves, %d spills, %d rematerializations, %d coalesced\n",
 			comp.Alloc.NumMoves(), comp.Alloc.Spills, comp.Alloc.Remats, comp.Assign.Coalesced)
 		fmt.Printf("code: %d instruction words\n", comp.Asm.CodeWords())

@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mip"
+	"repro/internal/nova"
+	"repro/internal/obs"
+	"repro/internal/pktgen"
+	"repro/internal/workloads"
+)
+
+// natRun compiles the NAT workload with the given allocator options,
+// runs one translated packet through the IXP simulator, and returns
+// the checksum result, the rewritten SDRAM image, and the cycle count.
+func natRun(t *testing.T, alloc func(*nova.Options)) (uint32, []uint32, int64) {
+	t.Helper()
+	opts := nova.DefaultOptions()
+	opts.MIP = &mip.Options{Time: 2 * time.Minute}
+	if alloc != nil {
+		alloc(&opts)
+	}
+	comp, err := nova.Compile("nat.nova", workloads.NATSource, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := newMachine(1)
+	m.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := pktgen.BuildIPv6TCP(7, 64)
+	copy(m.SDRAM[0x100:], words)
+	if err := m.SetArgs(0, regs, []uint32{0x100, 0x8000, 8}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(100_000_000)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return st.Results[0][0], append([]uint32(nil), m.SDRAM...), st.Cycles
+}
+
+// TestFailsafePipelineEndToEnd is the PR's acceptance check (DESIGN.md
+// §10): with fault injection forcing a worker panic AND an LP refactor
+// failure, and separately with the ILP replaced by the greedy fallback
+// allocator, the compiled NAT workload must produce exactly the packet
+// results of the clean ILP compile — the fallback merely pays more
+// cycles.
+func TestFailsafePipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full compiles of the NAT workload")
+	}
+	wantRet, wantMem, ilpCycles := natRun(t, nil)
+
+	// Faults on the ILP path: one injected worker panic and one
+	// injected refactor failure, both recovered inside the solvers.
+	plan, err := fault.Parse("mip/worker_panic@1,lp/refactor_fail@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(plan)
+	base := obs.TakeSnapshot()
+	gotRet, gotMem, _ := natRun(t, nil)
+	fault.Reset()
+	d := obs.Since(base)
+	if d["mip/recovered_panics"] < 1 || d["lp/refactor_retries"] < 1 {
+		t.Fatalf("fault recovery counters missing: recovered_panics=%d refactor_retries=%d (%v)",
+			d["mip/recovered_panics"], d["lp/refactor_retries"], d)
+	}
+	if gotRet != wantRet {
+		t.Fatalf("fault-injected compile result %#x, ILP result %#x", gotRet, wantRet)
+	}
+	for i := range wantMem {
+		if gotMem[i] != wantMem[i] {
+			t.Fatalf("fault-injected compile sdram[%#x] = %#x, ILP %#x", i, gotMem[i], wantMem[i])
+		}
+	}
+
+	// Greedy fallback path: identical packet semantics, more cycles.
+	base = obs.TakeSnapshot()
+	fbRet, fbMem, fbCycles := natRun(t, func(o *nova.Options) { o.Alloc.Fallback = core.FallbackForce })
+	if d := obs.Since(base); d["alloc/fallback"] < 1 {
+		t.Fatalf("alloc/fallback = %d, want >= 1", d["alloc/fallback"])
+	}
+	if fbRet != wantRet {
+		t.Fatalf("fallback compile result %#x, ILP result %#x", fbRet, wantRet)
+	}
+	for i := range wantMem {
+		if fbMem[i] != wantMem[i] {
+			t.Fatalf("fallback compile sdram[%#x] = %#x, ILP %#x", i, fbMem[i], wantMem[i])
+		}
+	}
+	if fbCycles < ilpCycles {
+		t.Fatalf("fallback cycles %d < ILP cycles %d; greedy allocation should not be faster", fbCycles, ilpCycles)
+	}
+	t.Logf("NAT: ILP %d cycles, greedy fallback %d cycles (+%.1f%%)",
+		ilpCycles, fbCycles, 100*float64(fbCycles-ilpCycles)/float64(ilpCycles))
+}

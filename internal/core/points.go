@@ -32,6 +32,9 @@ type Options struct {
 	// becomes infeasible if spilling would be required (used by the
 	// spill-feasibility objective experiment of §11).
 	NoSpill bool
+	// Fallback selects the failure policy when the ILP cannot deliver a
+	// usable allocation (see FallbackMode and DESIGN.md §10).
+	Fallback FallbackMode
 }
 
 // DefaultOptions matches the paper's evaluated configuration.

@@ -38,6 +38,9 @@ type Result struct {
 	// excluded from the LP objective; MIP.Obj + ObjConst is the total
 	// weighted move cost.
 	ObjConst float64
+	// Fallback marks an allocation produced by the greedy fallback
+	// allocator instead of the ILP (correct but unproven quality).
+	Fallback bool
 
 	// BankOf assigns a bank to every location web root.
 	bankOf map[locID]Bank
@@ -96,25 +99,60 @@ func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, err
 	// The relative gap is measured against the full move cost,
 	// including the part fixed by pinned arcs.
 	mipOpts.ObjOffset = il.objConst
-	sp = obs.StartSpan("phase/alloc/solve")
-	res, err := il.m.Solve(mipOpts)
-	sp.End()
-	if err != nil {
-		return nil, err
+	// Solve, then apply the failure policy (DESIGN.md §10): an ILP that
+	// errors, proves infeasible, or halts with no incumbent hands over
+	// to the greedy fallback allocator unless the caller turned it off.
+	// A cancelled solve never falls back — the caller asked to stop,
+	// not for a worse answer.
+	var res *mip.Result
+	var solveErr error
+	usedFallback := false
+	if opts.Fallback != FallbackForce {
+		sp = obs.StartSpan("phase/alloc/solve")
+		res, solveErr = il.m.Solve(mipOpts)
+		sp.End()
 	}
-	switch res.Status {
-	case mip.Optimal:
-	case mip.Infeasible:
-		return nil, fmt.Errorf("core: allocation model infeasible (program needs more registers than exist)")
-	default:
-		if res.X == nil {
-			return nil, fmt.Errorf("core: solver gave up (%v) with no incumbent", res.Status)
+	switch {
+	case opts.Fallback == FallbackForce:
+		res, solveErr = il.fallback()
+		if solveErr != nil {
+			return nil, solveErr
 		}
-		// A feasible incumbent within the node/time budget is usable.
+		usedFallback = true
+	case solveErr == nil && res.Status == mip.Optimal:
+	case solveErr == nil && res.Status == mip.Cancelled && res.X == nil:
+		return nil, fmt.Errorf("core: allocation cancelled before any incumbent was found")
+	case solveErr == nil && res.Status != mip.Infeasible && res.X != nil:
+		// A feasible incumbent within the budget (or from a degraded
+		// search) is usable; only its optimality proof is missing.
+	default:
+		ilpErr := solveErr
+		if ilpErr == nil {
+			if res.Status == mip.Infeasible {
+				ilpErr = fmt.Errorf("core: allocation model infeasible (program needs more registers than exist)")
+			} else {
+				ilpErr = fmt.Errorf("core: solver gave up (%v) with no incumbent", res.Status)
+			}
+		}
+		if opts.Fallback == FallbackOff {
+			return nil, ilpErr
+		}
+		// A verified greedy point refutes an Infeasible claim (it must
+		// have been numerical); when the fallback cannot place the
+		// program either, the original ILP failure is the better report.
+		fres, ferr := il.fallback()
+		if ferr != nil {
+			return nil, ilpErr
+		}
+		res = fres
+		usedFallback = true
 	}
 	sp = obs.StartSpan("phase/alloc/extract")
 	out, err := il.extract(res)
 	sp.End()
+	if out != nil {
+		out.Fallback = usedFallback
+	}
 	return out, err
 }
 

@@ -1,0 +1,295 @@
+// Package fault provides deterministic, seedable fault-injection
+// points for robustness testing of the solving pipeline (DESIGN.md
+// §10). A Point is a named hook compiled into production code paths
+// (e.g. "lp/refactor_fail" at the basis refactorization); it stays
+// disarmed until a Plan is installed, and a disarmed point costs one
+// atomic load per hit — the same always-off discipline as the
+// internal/obs span recorder, so shipping the hooks is free.
+//
+// Plans are written as comma-separated directives and typically arrive
+// via the novac -fault flag:
+//
+//	lp/refactor_fail            fire on the 1st hit only
+//	mip/worker_panic@3          fire on the 3rd hit only
+//	mip/worker_panic@1:4        fire on hits 1..4
+//	lp/solve_latency@1:*=250    fire on every hit, payload 250
+//	lp/perturb~0.5              fire each hit with probability 0.5
+//	seed=7                      seed the probabilistic trigger RNG
+//
+// Hits are counted per point from the moment the plan is installed,
+// so a given plan and a given hit order reproduce the same failures —
+// probabilistic directives are deterministic too, under the plan seed.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// enabled is the fast-path gate: Fire on any point is a single atomic
+// load of this flag while no plan is installed.
+var enabled atomic.Bool
+
+// cInjected counts every injected fault across all points; per-point
+// totals live under fault/<point name>.
+var cInjected = obs.NewCounter("fault/injected")
+
+// registry holds every point ever created plus the installed plan, so
+// points registered after Install still get armed.
+var registry struct {
+	mu     sync.Mutex
+	points map[string]*Point
+	plan   *Plan
+}
+
+// Point is one named injection site. Create package-level points with
+// NewPoint and consult them with Fire or Value on the failure path
+// they simulate.
+type Point struct {
+	name string
+	c    *obs.Counter // fault/<name>, bumped per injection
+	arm  atomic.Pointer[arming]
+	hits atomic.Int64
+}
+
+// arming is the per-point trigger state derived from one directive.
+type arming struct {
+	start    int64   // first hit eligible to fire (1-based)
+	count    int64   // number of consecutive eligible hits; -1 = unlimited
+	prob     float64 // when > 0, fire eligible hits with this probability
+	value    float64 // directive payload (=V)
+	hasValue bool
+	rng      *lockedRand
+}
+
+// lockedRand is a goroutine-safe seeded source shared by a plan's
+// probabilistic directives.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRand) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}
+
+// NewPoint returns the point registered under name, creating it on
+// first use (idempotent, like obs.NewCounter). If a plan is already
+// installed, the new point is armed against it immediately.
+func NewPoint(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.points == nil {
+		registry.points = map[string]*Point{}
+	}
+	if p, ok := registry.points[name]; ok {
+		return p
+	}
+	p := &Point{name: name, c: obs.NewCounter("fault/" + name)}
+	registry.points[name] = p
+	if registry.plan != nil {
+		if a := registry.plan.armingFor(name); a != nil {
+			p.arm.Store(a)
+		}
+	}
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fire records a hit and reports whether the installed plan injects
+// the fault here. With no plan installed it is a single atomic load.
+// A nil receiver never fires, so optional points can be left nil.
+func (p *Point) Fire() bool {
+	_, ok := p.Value()
+	return ok
+}
+
+// Value is Fire with the directive's numeric payload (the value after
+// '=', e.g. a perturbation magnitude or a latency in milliseconds).
+// Directives without a payload fire with value 0.
+func (p *Point) Value() (float64, bool) {
+	if p == nil || !enabled.Load() {
+		return 0, false
+	}
+	a := p.arm.Load()
+	if a == nil {
+		return 0, false
+	}
+	h := p.hits.Add(1)
+	fire := false
+	if a.prob > 0 {
+		fire = a.rng.float64() < a.prob
+	} else if h >= a.start {
+		fire = a.count < 0 || h < a.start+a.count
+	}
+	if !fire {
+		return 0, false
+	}
+	cInjected.Inc()
+	p.c.Inc()
+	return a.value, true
+}
+
+// directive is one parsed plan entry.
+type directive struct {
+	point string
+	arm   arming
+}
+
+// Plan is a parsed set of injection directives. Install arms it;
+// plans themselves are immutable after Parse.
+type Plan struct {
+	directives []directive
+	seed       int64
+	spec       string
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// armingFor returns a fresh arming for the named point, or nil when
+// the plan does not mention it. Probabilistic directives share the
+// plan's seeded RNG so one seed reproduces the whole run.
+func (p *Plan) armingFor(name string) *arming {
+	for i := range p.directives {
+		if p.directives[i].point == name {
+			a := p.directives[i].arm
+			return &a
+		}
+	}
+	return nil
+}
+
+// Parse parses a comma-separated directive spec (see the package
+// comment for the grammar). An empty spec yields a nil plan, which
+// Install treats as "disable everything".
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &Plan{seed: 1, spec: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, "seed="); ok {
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", rest)
+			}
+			plan.seed = n
+			continue
+		}
+		d := directive{arm: arming{start: 1, count: 1}}
+		if at := strings.IndexByte(part, '='); at >= 0 {
+			v, err := strconv.ParseFloat(part[at+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad value in %q", part)
+			}
+			d.arm.value, d.arm.hasValue = v, true
+			part = part[:at]
+		}
+		switch {
+		case strings.ContainsRune(part, '~'):
+			at := strings.IndexByte(part, '~')
+			pr, err := strconv.ParseFloat(part[at+1:], 64)
+			if err != nil || pr <= 0 || pr > 1 {
+				return nil, fmt.Errorf("fault: bad probability in %q", part)
+			}
+			d.arm.prob = pr
+			part = part[:at]
+		case strings.ContainsRune(part, '@'):
+			at := strings.IndexByte(part, '@')
+			trig := part[at+1:]
+			part = part[:at]
+			count := "1"
+			if c := strings.IndexByte(trig, ':'); c >= 0 {
+				trig, count = trig[:c], trig[c+1:]
+			}
+			n, err := strconv.ParseInt(trig, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad hit number in %q", part)
+			}
+			d.arm.start = n
+			if count == "*" {
+				d.arm.count = -1
+			} else {
+				c, err := strconv.ParseInt(count, 10, 64)
+				if err != nil || c < 1 {
+					return nil, fmt.Errorf("fault: bad fire count in %q", part)
+				}
+				d.arm.count = c
+			}
+		}
+		if part == "" {
+			return nil, fmt.Errorf("fault: directive with no point name in %q", spec)
+		}
+		d.point = part
+		plan.directives = append(plan.directives, d)
+	}
+	if len(plan.directives) == 0 {
+		return nil, nil
+	}
+	return plan, nil
+}
+
+// Install arms the plan: every registered point named by a directive
+// starts counting hits from zero, and points created later are armed
+// on registration. Install(nil) is equivalent to Reset. Concurrent
+// solves observe the switch atomically per point.
+func Install(plan *Plan) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	rng := (*lockedRand)(nil)
+	if plan != nil {
+		rng = &lockedRand{r: rand.New(rand.NewSource(plan.seed))}
+		for i := range plan.directives {
+			plan.directives[i].arm.rng = rng
+		}
+	}
+	registry.plan = plan
+	for name, p := range registry.points {
+		p.hits.Store(0)
+		if plan == nil {
+			p.arm.Store(nil)
+			continue
+		}
+		p.arm.Store(plan.armingFor(name))
+	}
+	enabled.Store(plan != nil)
+}
+
+// Reset disarms every point and clears the installed plan. Tests that
+// install plans must defer a Reset so later tests run fault-free.
+func Reset() { Install(nil) }
+
+// Names returns the sorted names of every registered point — the
+// vocabulary a -fault spec can target.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.points))
+	for name := range registry.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Reset()
+	p := NewPoint("test/disarmed")
+	for i := 0; i < 100; i++ {
+		if p.Fire() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+}
+
+func TestOneShotDefault(t *testing.T) {
+	plan, err := Parse("test/oneshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(plan)
+	defer Reset()
+	p := NewPoint("test/oneshot")
+	if !p.Fire() {
+		t.Fatal("hit 1 did not fire")
+	}
+	for i := 2; i <= 10; i++ {
+		if p.Fire() {
+			t.Fatalf("hit %d fired; one-shot should fire once", i)
+		}
+	}
+}
+
+func TestNthHitAndRange(t *testing.T) {
+	plan, err := Parse("test/nth@3, test/range@2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(plan)
+	defer Reset()
+	nth := NewPoint("test/nth")
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if nth.Fire() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("test/nth@3 fired at %v, want [3]", fired)
+	}
+	rng := NewPoint("test/range")
+	fired = nil
+	for i := 1; i <= 6; i++ {
+		if rng.Fire() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 2 || fired[2] != 4 {
+		t.Fatalf("test/range@2:3 fired at %v, want [2 3 4]", fired)
+	}
+}
+
+func TestUnlimitedAndValue(t *testing.T) {
+	plan, err := Parse("test/always@1:*=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(plan)
+	defer Reset()
+	p := NewPoint("test/always")
+	for i := 0; i < 20; i++ {
+		v, ok := p.Value()
+		if !ok || v != 2.5 {
+			t.Fatalf("hit %d: got (%v, %v), want (2.5, true)", i+1, v, ok)
+		}
+	}
+}
+
+func TestProbabilisticDeterministic(t *testing.T) {
+	run := func() []bool {
+		plan, err := Parse("seed=42, test/prob~0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Install(plan)
+		defer Reset()
+		p := NewPoint("test/prob")
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := run(), run()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically seeded runs", i+1)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 over %d hits fired %d times", len(a), fires)
+	}
+}
+
+func TestInstallArmsLaterPoints(t *testing.T) {
+	plan, err := Parse("test/latecomer@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(plan)
+	defer Reset()
+	// The point is registered only after the plan is installed.
+	p := NewPoint("test/latecomer")
+	if !p.Fire() {
+		t.Fatal("point registered after Install was not armed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"p@0", "p@x", "p@1:0", "p~2", "p~x", "p=x", "seed=x", "@1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	for _, good := range []string{"", "  ", "p", "p@2", "p@2:5", "p@1:*", "p~0.25", "p=3, q@2, seed=9"} {
+		if _, err := Parse(good); err != nil {
+			t.Errorf("Parse(%q): %v", good, err)
+		}
+	}
+}
+
+func TestDisarmedFireAllocsNothing(t *testing.T) {
+	Reset()
+	p := NewPoint("test/zerocost")
+	if n := testing.AllocsPerRun(1000, func() { p.Fire() }); n != 0 {
+		t.Fatalf("disarmed Fire allocates %v per call, want 0", n)
+	}
+}

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Inf is the bound value for unbounded directions.
@@ -188,6 +189,12 @@ type Options struct {
 	MaxIters    int     // 0 means automatic (scaled with problem size)
 	Tol         float64 // feasibility/optimality tolerance (default 1e-7)
 	RefactorGap int     // eta count between refactorizations (default 128)
+
+	// Deadline, when nonzero, is a hard wall-clock bound: the pivot
+	// loop checks it every 256 iterations and the solve returns with
+	// Status IterLimit once it has passed. The MIP layer threads its
+	// budget through here so every node LP honors it.
+	Deadline time.Time
 
 	// WarmBasis, when non-nil, starts the simplex from this basis
 	// instead of the all-slack crash basis. A snapshot that does not

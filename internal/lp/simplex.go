@@ -1,21 +1,42 @@
 package lp
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
 // Solver-effort counters (DESIGN.md §8). They are accumulated in plain
 // simplex fields during a solve — the pivot loop pays nothing — and
 // flushed with a handful of atomic adds when the solve returns.
+// refactor_retries and drift_resolves count the recovery ladder's
+// steps (DESIGN.md §10): crash-basis restarts after a repair conflict,
+// and fresh-basis re-solves after residual drift was detected at an
+// optimum.
 var (
-	cSolves    = obs.NewCounter("lp/solves")
-	cIters     = obs.NewCounter("lp/iterations")
-	cDegen     = obs.NewCounter("lp/degenerate_pivots")
-	cBland     = obs.NewCounter("lp/bland_activations")
-	cRefactors = obs.NewCounter("lp/refactorizations")
+	cSolves          = obs.NewCounter("lp/solves")
+	cIters           = obs.NewCounter("lp/iterations")
+	cDegen           = obs.NewCounter("lp/degenerate_pivots")
+	cBland           = obs.NewCounter("lp/bland_activations")
+	cRefactors       = obs.NewCounter("lp/refactorizations")
+	cRefactorRetries = obs.NewCounter("lp/refactor_retries")
+	cDriftResolves   = obs.NewCounter("lp/drift_resolves")
+)
+
+// Fault-injection points (internal/fault; disarmed they cost one
+// atomic load). refactor_fail simulates a basis repair conflict,
+// perturb corrupts one basic value after phase 2 (payload = magnitude)
+// to exercise the drift re-solve, and solve_latency sleeps at solve
+// entry (payload = milliseconds) to exercise budget handling upstream.
+var (
+	fpRefactorFail = fault.NewPoint("lp/refactor_fail")
+	fpPerturb      = fault.NewPoint("lp/perturb")
+	fpLatency      = fault.NewPoint("lp/solve_latency")
 )
 
 // Variable states. Structural variables are 0..n-1; the slack of row r
@@ -67,6 +88,10 @@ type simplex struct {
 	// Bland's rule; degenTotal never resets).
 	degenTotal int
 	refactors  int
+	// recovery-ladder state (DESIGN.md §10): each kind of restart is
+	// attempted at most once per solve.
+	retries      int // crash-basis restarts after a refactor repair conflict
+	driftRetries int // fresh-basis re-solves after residual drift
 }
 
 func newSimplex(p *Problem, opts *Options) *simplex {
@@ -198,24 +223,69 @@ func (s *simplex) flushStats() {
 	cIters.Add(int64(s.iter))
 	cDegen.Add(int64(s.degenTotal))
 	cRefactors.Add(int64(s.refactors))
+	cRefactorRetries.Add(int64(s.retries))
+	cDriftResolves.Add(int64(s.driftRetries))
 	if s.bland {
 		cBland.Inc()
 	}
 }
 
+// solve runs the two-phase simplex with the §10 recovery ladder
+// around it: a refactorization repair conflict restarts the whole
+// solve once from the all-slack crash basis (which cannot conflict),
+// and an optimal point whose recomputed row activities have drifted
+// from the incrementally maintained values is re-solved once from a
+// fresh basis. Each recovery is attempted at most once per solve; a
+// second failure surfaces as a *StabilityError.
 func (s *simplex) solve() (*Solution, error) {
 	defer s.flushStats()
+	if ms, ok := fpLatency.Value(); ok {
+		time.Sleep(time.Duration(ms * float64(time.Millisecond)))
+	}
 	if err := s.p.check(); err != nil {
 		return &Solution{Status: Infeasible}, err
 	}
-	if s.opts.WarmBasis == nil || !s.loadBasis(s.opts.WarmBasis) {
+	warm := s.opts.WarmBasis
+	for {
+		sol, err := s.solveOnce(warm)
+		var se *StabilityError
+		if err != nil && errors.As(err, &se) && s.retries == 0 {
+			s.retries++
+			warm = nil
+			continue
+		}
+		if err == nil && sol.Status == Optimal && s.driftRetries == 0 {
+			if mag, ok := fpPerturb.Value(); ok && s.m > 0 {
+				// Corrupt one basic value so the residual check below
+				// sees the drift this fault simulates.
+				s.xB[0] += mag
+			}
+			if drift, scale := s.primalResidual(); drift > 1e-6*scale {
+				s.driftRetries++
+				warm = nil
+				continue
+			}
+		}
+		return sol, err
+	}
+}
+
+// solveOnce is one two-phase pass from the given warm basis (nil for
+// the crash basis); solve wraps it with the recovery ladder.
+func (s *simplex) solveOnce(warm *Basis) (*Solution, error) {
+	s.reset()
+	if warm == nil || !s.loadBasis(warm) {
 		s.crashBasis()
 	}
-	s.refactor()
-
+	if err := s.refactor(); err != nil {
+		return nil, err
+	}
 	// Phase 1: drive out infeasibility.
 	if s.infeasibility() > s.opts.Tol {
-		st := s.run(true)
+		st, err := s.run(true)
+		if err != nil {
+			return nil, err
+		}
 		if st == Unbounded {
 			// The phase-1 objective is bounded below by zero; an
 			// unlimited ray here only means numerics gave up.
@@ -229,7 +299,10 @@ func (s *simplex) solve() (*Solution, error) {
 		}
 	}
 	// Phase 2: optimize.
-	st := s.run(false)
+	st, err := s.run(false)
+	if err != nil {
+		return nil, err
+	}
 	sol := &Solution{Status: st, Iters: s.iter, X: make([]float64, s.n), Basis: s.snapshot()}
 	for j := 0; j < s.n; j++ {
 		sol.X[j] = s.value(j)
@@ -238,6 +311,51 @@ func (s *simplex) solve() (*Solution, error) {
 		sol.Obj += s.p.obj[j] * sol.X[j]
 	}
 	return sol, nil
+}
+
+// reset clears the per-pass state so a recovery restart begins clean.
+// The iteration count is kept: MaxIters bounds the total work of a
+// solve including its restarts.
+func (s *simplex) reset() {
+	s.etas = s.etas[:0]
+	s.baseEtas = 0
+	s.degenerate = 0
+	s.bland = false
+	for i := range s.xB {
+		s.xB[i] = 0
+	}
+}
+
+// primalResidual measures how far the incrementally maintained point
+// drifted from the constraints: it recomputes every row activity from
+// the structural values and compares against the slack variables
+// (activity - slack = 0 holds exactly in exact arithmetic). It
+// returns the largest violation and the activity scale to judge it
+// against.
+func (s *simplex) primalResidual() (drift, scale float64) {
+	act := s.y // btran scratch, free once a phase has returned
+	for i := range act {
+		act[i] = 0
+	}
+	for j := 0; j < s.n; j++ {
+		x := s.value(j)
+		if x == 0 {
+			continue
+		}
+		for _, nz := range s.p.cols[j] {
+			act[nz.Row] += nz.Val * x
+		}
+	}
+	scale = 1
+	for r := 0; r < s.m; r++ {
+		if a := math.Abs(act[r]); a > scale {
+			scale = a
+		}
+		if d := math.Abs(act[r] - s.value(s.n+r)); d > drift {
+			drift = d
+		}
+	}
+	return drift, scale
 }
 
 // crashBasis installs the all-slack basis with structural variables at
@@ -384,12 +502,20 @@ func (s *simplex) costOf(j int, phase1 bool) float64 {
 	return 0
 }
 
-// run iterates the primal simplex until optimality for the phase.
-func (s *simplex) run(phase1 bool) Status {
+// run iterates the primal simplex until optimality for the phase. A
+// non-nil error is a refactorization failure that already consumed
+// the recovery retry (solve restarts on it); the Status is meaningful
+// only when the error is nil. Options.Deadline, when set, is checked
+// every 256 iterations and returns IterLimit once passed.
+func (s *simplex) run(phase1 bool) (Status, error) {
 	tol := s.opts.Tol
+	checkClock := !s.opts.Deadline.IsZero()
 	for ; s.iter < s.opts.MaxIters; s.iter++ {
+		if checkClock && s.iter&255 == 0 && time.Now().After(s.opts.Deadline) {
+			return IterLimit, nil
+		}
 		if phase1 && s.infeasibility() <= tol {
-			return Optimal
+			return Optimal, nil
 		}
 		// y = Btran(cB)
 		for r := 0; r < s.m; r++ {
@@ -435,9 +561,9 @@ func (s *simplex) run(phase1 bool) Status {
 		}
 		if enter < 0 {
 			if phase1 && s.infeasibility() > tol {
-				return Infeasible
+				return Infeasible, nil
 			}
-			return Optimal
+			return Optimal, nil
 		}
 		// w = Ftran(column of entering variable)
 		s.clearW()
@@ -533,7 +659,7 @@ func (s *simplex) run(phase1 bool) Status {
 			}
 		}
 		if limit == Inf {
-			return Unbounded
+			return Unbounded, nil
 		}
 		if limit <= 1e-11 {
 			s.degenerate++
@@ -578,10 +704,12 @@ func (s *simplex) run(phase1 bool) Status {
 		s.pushEtaW(leave)
 		s.xB[leave] = enterVal
 		if len(s.etas)-s.baseEtas >= s.opts.RefactorGap {
-			s.refactor()
+			if err := s.refactor(); err != nil {
+				return IterLimit, err
+			}
 		}
 	}
-	return IterLimit
+	return IterLimit, nil
 }
 
 // pushEta records the current w (the Ftran image of the entering
@@ -627,9 +755,16 @@ func (s *simplex) btran(y []float64) {
 }
 
 // refactor rebuilds the eta file from the current basis and recomputes
-// the basic values. Singular bases are repaired by swapping in slacks.
-func (s *simplex) refactor() {
+// the basic values. Singular bases are repaired by swapping in slacks;
+// a repair conflict (a slack needed for an unpivoted row while basic
+// elsewhere) returns a *StabilityError instead of guessing, and solve
+// restarts once from the crash basis — which, starting from the
+// identity, cannot conflict.
+func (s *simplex) refactor() error {
 	s.refactors++
+	if fpRefactorFail.Fire() {
+		return &StabilityError{Stage: "refactor", Detail: "injected repair conflict"}
+	}
 	s.etas = s.etas[:0]
 	// Process basis columns in order of increasing sparsity.
 	type slot struct {
@@ -691,9 +826,11 @@ func (s *simplex) refactor() {
 		}
 		j := s.n + r
 		if s.state[j] == stBasic && s.inRow[j] != r {
-			// The slack is basic elsewhere — cannot happen: its column
-			// only covers row r, so it can only have pivoted row r.
-			panic("lp: refactor repair conflict")
+			// The slack is basic elsewhere — its column only covers row
+			// r, so this means the eta file no longer represents a
+			// permutation of the basis (accumulated roundoff).
+			return &StabilityError{Stage: "refactor",
+				Detail: fmt.Sprintf("slack of row %d is basic in row %d", r, s.inRow[j])}
 		}
 		newBasis[r] = j
 		s.state[j] = stBasic
@@ -725,4 +862,5 @@ func (s *simplex) refactor() {
 	s.ftran(rhs)
 	copy(s.xB, rhs)
 	s.baseEtas = len(s.etas)
+	return nil
 }

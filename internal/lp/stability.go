@@ -1,0 +1,17 @@
+package lp
+
+// StabilityError reports a numerical failure the simplex could not
+// recover from on its own. The solver's recovery ladder (DESIGN.md
+// §10) retries once from the all-slack crash basis before surfacing
+// one: a from-scratch refactorization cannot hit a repair conflict,
+// so a returned StabilityError means even the cold restart failed.
+// Callers (the branch-and-bound tree) treat it as "this subproblem is
+// numerically hopeless", not as a programming error.
+type StabilityError struct {
+	Stage  string // "refactor" (basis repair conflict) or "residual" (drift re-solve failed)
+	Detail string
+}
+
+func (e *StabilityError) Error() string {
+	return "lp: numerical instability in " + e.Stage + ": " + e.Detail
+}

@@ -1,25 +1,41 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/obs"
 )
 
 // Search-effort counters and the open-pool high-water mark (DESIGN.md
 // §8). Totals are flushed once per Solve; per-worker breakdowns live
-// under mip/worker<N>/ (see search.go).
+// under mip/worker<N>/ (see search.go). recovered_panics counts worker
+// panics caught and converted into node retries (DESIGN.md §10);
+// heuristic_panics counts caller completion hooks that panicked and
+// were treated as a miss.
 var (
-	cMIPSolves    = obs.NewCounter("mip/solves")
-	cMIPNodes     = obs.NewCounter("mip/nodes")
-	cMIPCutsRoot  = obs.NewCounter("mip/cuts_root")
-	cMIPCutsTree  = obs.NewCounter("mip/cuts_tree")
-	cMIPIncumb    = obs.NewCounter("mip/incumbents")
-	cMIPHeurCalls = obs.NewCounter("mip/heuristic_calls")
-	gMIPPoolPeak  = obs.NewGauge("mip/pool_peak")
+	cMIPSolves     = obs.NewCounter("mip/solves")
+	cMIPNodes      = obs.NewCounter("mip/nodes")
+	cMIPCutsRoot   = obs.NewCounter("mip/cuts_root")
+	cMIPCutsTree   = obs.NewCounter("mip/cuts_tree")
+	cMIPIncumb     = obs.NewCounter("mip/incumbents")
+	cMIPHeurCalls  = obs.NewCounter("mip/heuristic_calls")
+	cMIPRecovered  = obs.NewCounter("mip/recovered_panics")
+	cMIPHeurPanics = obs.NewCounter("mip/heuristic_panics")
+	gMIPPoolPeak   = obs.NewGauge("mip/pool_peak")
+)
+
+// Fault-injection points (internal/fault): worker_panic panics inside
+// a tree-search worker's dive, heuristic_err panics inside the
+// protected heuristic call. Both exercise the recovery paths that
+// production code must survive.
+var (
+	fpWorkerPanic = fault.NewPoint("mip/worker_panic")
+	fpHeurErr     = fault.NewPoint("mip/heuristic_err")
 )
 
 // Options tunes the search. Out-of-range values (negative Workers or
@@ -65,6 +81,13 @@ type Options struct {
 	// need not be goroutine-safe even with Workers > 1.
 	Heuristic func(x []float64) ([]float64, bool)
 
+	// Ctx, when set, cancels the solve: the root cut loop, the root
+	// heuristics, and the tree search all poll it, and a cancelled
+	// solve returns Status Cancelled together with the best incumbent
+	// found so far (nil X when none exists). Nil means no cancellation
+	// (context.Background()).
+	Ctx context.Context
+
 	// seedX/seedObj install a known-feasible starting incumbent before
 	// the search (used by the local-branching sub-solves, which restrict
 	// the neighborhood of a point they already hold).
@@ -90,12 +113,20 @@ func (o *Options) fill() {
 // Status of the MIP solve.
 type Status int
 
-// Statuses.
+// Statuses. Every halted status (NodeLimit, TimeLimit, Cancelled,
+// Degraded) guarantees the best incumbent found is in Result.X when
+// one exists; only its optimality proof is missing.
 const (
 	Optimal Status = iota // incumbent proven within gap
 	Infeasible
 	NodeLimit // best incumbent returned, gap not proven
 	TimeLimit
+	Cancelled // Options.Ctx cancelled; best incumbent returned
+	// Degraded means the search drained but lost subtrees to
+	// unrecoverable failures (a node LP with persistent numerical
+	// trouble, or a node that panicked through all its retries), so
+	// neither optimality nor infeasibility is proven.
+	Degraded
 )
 
 func (s Status) String() string {
@@ -106,9 +137,14 @@ func (s Status) String() string {
 		return "infeasible"
 	case NodeLimit:
 		return "node-limit"
-	default:
+	case TimeLimit:
 		return "time-limit"
+	case Cancelled:
+		return "cancelled"
+	case Degraded:
+		return "degraded"
 	}
+	return "unknown"
 }
 
 // Result reports the solve outcome together with the statistics that
@@ -152,6 +188,25 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{Obj: math.Inf(1), Workers: o.Workers}
 
+	// Failure-policy plumbing (DESIGN.md §10): the wall-clock budget
+	// becomes a hard deadline threaded into every LP solve (root, cut
+	// loop, heuristics, and tree nodes all honor it), and the caller's
+	// context is polled at node granularity by the tree search.
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := start.Add(o.Time)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	o.LP = withDeadline(o.LP, deadline)
+	if ctx.Err() != nil {
+		res.Status = Cancelled
+		res.Time = time.Since(start)
+		return res, nil
+	}
+
 	// Root relaxation.
 	rootStart := time.Now()
 	rootSp := obs.StartSpan("mip/root_lp")
@@ -170,7 +225,11 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	case lp.Unbounded:
 		return nil, errUnbounded
 	case lp.IterLimit:
-		return nil, errRootIterLimit
+		// The root LP ran out of budget. Salvage an incumbent from the
+		// partial point when one exists instead of erroring out — the
+		// contract is that budget-hit solves report a status, never an
+		// error.
+		return salvageRoot(p, integer, &o, rootSol, res, start)
 	}
 	res.RootObj = rootSol.Obj
 	res.RootCutObj = rootSol.Obj
@@ -195,7 +254,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		sol := rootSol
 		stall := 0
 		for round := 0; round < rounds; round++ {
-			if time.Since(start) > o.Time {
+			if time.Since(start) > o.Time || ctx.Err() != nil {
 				break
 			}
 			cuts := sep.separate(sol.X, 48)
@@ -222,8 +281,12 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 			cpool.apply(work, before)
 			warm, err := work.Solve(warmOpts(o.LP, sol.Basis))
 			if err != nil {
-				cutSp.End()
-				return nil, err
+				// A cut LP that fails (numerical trouble in the appended
+				// rows) does not poison the solve: the pre-cut bound in
+				// hand is still valid, and the appended rows stay — every
+				// cut holds at every integer point, and the workers'
+				// warm bases are row-prefix compatible.
+				break
 			}
 			res.LPIters += warm.Iters
 			if warm.Status == lp.Infeasible {
@@ -273,6 +336,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	}
 
 	e := newEngine(work, integer, &o, start)
+	e.ctx = ctx
 	e.sep = sep
 	e.cuts = cpool
 	e.cutBase = cutBase
@@ -298,7 +362,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok && obj < bestObj {
 		bestX, bestObj = x, obj
 	}
-	if sep != nil && o.Heuristic == nil && countBinaries(p, integer) <= maxHeurBinaries {
+	if sep != nil && o.Heuristic == nil && ctx.Err() == nil && countBinaries(p, integer) <= maxHeurBinaries {
 		// Callers with a domain completion heuristic already get
 		// incumbents from structure; and on models with thousands of
 		// binaries a fixed-radius Hamming ball is a vanishing fraction
@@ -314,10 +378,10 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		// keeps improving.
 		for round := 0; round < 3 && bestX != nil; round++ {
 			remain := o.Time - time.Since(start)
-			if remain <= 0 {
+			if remain <= 0 || ctx.Err() != nil {
 				break
 			}
-			x, obj, iters, ok := localBranch(p, integer, bestX, bestObj, o.LP, remain/8)
+			x, obj, iters, ok := localBranch(ctx, p, integer, bestX, bestObj, o.LP, remain/8)
 			res.LPIters += iters
 			if !ok {
 				break
@@ -361,6 +425,79 @@ func countBinaries(p *lp.Problem, integer []bool) int {
 		}
 	}
 	return n
+}
+
+// withDeadline copies the caller's LP options with the solve's hard
+// wall-clock deadline installed (keeping an earlier caller deadline if
+// one is already set). Every LP the solve runs — root, cut loop,
+// heuristic sub-solves, tree nodes — goes through the result, so no
+// single LP can blow past the MIP budget.
+func withDeadline(base *lp.Options, dl time.Time) *lp.Options {
+	var o lp.Options
+	if base != nil {
+		o = *base
+	}
+	if o.Deadline.IsZero() || dl.Before(o.Deadline) {
+		o.Deadline = dl
+	}
+	return &o
+}
+
+// salvageRoot turns a root LP that hit its iteration or wall-clock
+// limit into a budget-style result instead of an error: when the
+// phase-2 point is available it is rounded — and offered to the
+// caller's completion heuristic — in search of an incumbent, and the
+// best one found rides out under TimeLimit/NodeLimit. A phase-1 limit
+// carries no point, so the result reports the halt with nil X and the
+// caller's fallback path takes over.
+func salvageRoot(p *lp.Problem, integer []bool, o *Options, rootSol *lp.Solution, res *Result, start time.Time) (*Result, error) {
+	res.Status = NodeLimit
+	if time.Since(start) > o.Time {
+		res.Status = TimeLimit
+	}
+	if rootSol.X != nil {
+		res.RootObj = rootSol.Obj
+		res.RootCutObj = rootSol.Obj
+		if x, obj, ok := roundFeasible(p, integer, rootSol.X); ok && obj < res.Obj {
+			res.X, res.Obj = x, obj
+		}
+		if o.Heuristic != nil {
+			if cand, ok := callHeuristic(o.Heuristic, rootSol.X); ok && Feasible(p, cand, 1e-6) {
+				if obj := objOf(p, cand); obj < res.Obj {
+					res.X, res.Obj = append([]float64(nil), cand...), obj
+				}
+			}
+		}
+	}
+	res.Time = time.Since(start)
+	cMIPSolves.Inc()
+	return res, nil
+}
+
+// callHeuristic invokes a caller completion hook with panic
+// protection: a hook that panics (or is forced to by the
+// mip/heuristic_err fault point) is treated as a miss and tallied
+// under mip/heuristic_panics instead of crashing the search.
+func callHeuristic(h func(x []float64) ([]float64, bool), x []float64) (cand []float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cMIPHeurPanics.Inc()
+			cand, ok = nil, false
+		}
+	}()
+	if fpHeurErr.Fire() {
+		panic("fault: injected heuristic error")
+	}
+	return h(x)
+}
+
+// objOf evaluates p's objective at x.
+func objOf(p *lp.Problem, x []float64) float64 {
+	obj := 0.0
+	for j := range x {
+		obj += p.Obj(j) * x[j]
+	}
+	return obj
 }
 
 // warmOpts copies the caller's LP options with a warm basis installed.

@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -30,6 +31,9 @@ func rootDive(guide, feas *lp.Problem, integer []bool, sol *lp.Solution, lpo *lp
 	cur := sol
 	iters := 0
 	for pass := 0; pass < rootDiveBudget; pass++ {
+		if lpo != nil && !lpo.Deadline.IsZero() && time.Now().After(lpo.Deadline) {
+			return nil, 0, iters, false // out of budget mid-dive
+		}
 		// Most-nearly-integral fractional integer column.
 		fix, best := -1, 0.5+1e-9
 		for j, isInt := range integer {
@@ -74,7 +78,7 @@ func rootDive(guide, feas *lp.Problem, integer []bool, sol *lp.Solution, lpo *lp
 // sub-solve runs with cuts disabled (no recursion) and its tree is
 // heuristic effort, not main-tree nodes; its LP iterations are
 // reported. Returns an improved point when one is found.
-func localBranch(p *lp.Problem, integer []bool, x []float64, obj float64, lpo *lp.Options, budget time.Duration) ([]float64, float64, int, bool) {
+func localBranch(ctx context.Context, p *lp.Problem, integer []bool, x []float64, obj float64, lpo *lp.Options, budget time.Duration) ([]float64, float64, int, bool) {
 	// A small ball keeps the sub-MIP far easier than the full problem
 	// while still holding the profitable exchanges (the paper-scale
 	// instances improve by swapping a handful of assignments at a time);
@@ -110,6 +114,7 @@ func localBranch(p *lp.Problem, integer []bool, x []float64, obj float64, lpo *l
 		MaxNodes:  3500,
 		Time:      budget,
 		LP:        lpo,
+		Ctx:       ctx,
 		seedX:     x,
 		seedObj:   obj,
 	})

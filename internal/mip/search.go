@@ -2,6 +2,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,10 +14,7 @@ import (
 	"repro/internal/obs"
 )
 
-var (
-	errUnbounded     = errors.New("mip: relaxation is unbounded")
-	errRootIterLimit = errors.New("mip: root LP hit iteration limit")
-)
+var errUnbounded = errors.New("mip: relaxation is unbounded")
 
 // bchange is one bound tightening on the path from the root to a node.
 type bchange struct {
@@ -32,6 +30,7 @@ type node struct {
 	changes []bchange
 	basis   *lp.Basis
 	seq     int64 // push order, for deterministic heap tie-breaking
+	retries int   // panic-recovery requeues so far (DESIGN.md §10)
 }
 
 // nodeHeap is a best-bound (min-bound) priority queue.
@@ -141,6 +140,15 @@ type engine struct {
 	opts    *Options
 	start   time.Time
 	pool    *pool
+	ctx     context.Context
+
+	// Failure-recovery state (DESIGN.md §10): serial flips when a node
+	// panicked through its parallel retry, after which every worker but
+	// worker 0 retires; lost counts subtrees abandoned to unrecoverable
+	// failures — any lost subtree downgrades a would-be proof to
+	// Degraded.
+	serial atomic.Bool
+	lost   atomic.Int64
 
 	// Cutting-plane state (nil when cuts are disabled): the immutable
 	// separation context, the shared append-only pool, and how many pool
@@ -167,7 +175,7 @@ type engine struct {
 }
 
 func newEngine(p *lp.Problem, integer []bool, opts *Options, start time.Time) *engine {
-	e := &engine{p: p, integer: integer, opts: opts, start: start, pool: newPool(), trueRows: p.NumRows()}
+	e := &engine{p: p, integer: integer, opts: opts, start: start, pool: newPool(), trueRows: p.NumRows(), ctx: context.Background()}
 	for j, isInt := range integer {
 		if isInt {
 			e.intCols = append(e.intCols, j)
@@ -251,14 +259,20 @@ func (e *engine) run(rootSol *lp.Solution, res *Result) {
 	res.Obj = e.incObj()
 	res.X = e.incX
 	e.mu.Unlock()
-	proven := !e.hasHalt && e.err == nil
+	// A proof (Optimal or Infeasible) requires a fully drained tree: no
+	// budget halt, no error, and no subtree lost to panics or numerics.
+	// A drained-but-lossy search reports Degraded instead — its
+	// incumbent is feasible but nothing is proven about the gap.
+	proven := !e.hasHalt && e.err == nil && e.lost.Load() == 0
 	switch {
 	case math.IsInf(res.Obj, 1) && proven:
 		res.Status = Infeasible
 	case proven:
 		res.Status = Optimal
-	default:
+	case e.hasHalt:
 		res.Status = e.halted
+	default:
+		res.Status = Degraded
 	}
 }
 
@@ -313,6 +327,14 @@ func (e *engine) worker(id int) {
 		if nd == nil {
 			return
 		}
+		if e.serial.Load() && id != 0 {
+			// The pool degraded to serial after repeated panics: hand
+			// the node back and retire, leaving worker 0 to finish the
+			// tree alone.
+			e.pool.push(nd)
+			e.pool.done()
+			return
+		}
 		// Pull any pool cuts other workers separated since our last
 		// node, so this dive's first LP already sees them. The pool is
 		// append-only, so clones stay row-prefix compatible and the
@@ -323,9 +345,49 @@ func (e *engine) worker(id int) {
 				w.act = make([]float64, w.prob.NumRows())
 			}
 		}
-		e.dive(w, nd)
+		e.safeDive(w, nd)
 		e.pool.done()
 	}
+}
+
+// safeDive runs dive under panic recovery. A panicking node is
+// re-queued cold (no warm basis — the panic may have been basis
+// related) and retried on a rebuilt clone; a second panic on the same
+// node degrades the pool to serial and grants one last retry there; a
+// third abandons the subtree and records it in e.lost, so the final
+// status degrades rather than claiming a proof over an unexplored
+// subtree.
+func (e *engine) safeDive(w *workerCtx, nd *node) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		cMIPRecovered.Inc()
+		// The clone may have been mid-mutation when the panic unwound;
+		// rebuild it from the engine's pristine problem.
+		w.prob = e.p.Clone()
+		w.applied = w.applied[:0]
+		w.cutsApplied = e.cutBase
+		if e.cuts != nil {
+			w.cutsApplied = e.cuts.apply(w.prob, w.cutsApplied)
+		}
+		if w.prob.NumRows() > len(w.act) {
+			w.act = make([]float64, w.prob.NumRows())
+		}
+		switch nd.retries {
+		case 0:
+			nd.retries, nd.basis = 1, nil
+			e.pool.push(nd)
+		case 1:
+			e.serial.Store(true)
+			nd.retries, nd.basis = 2, nil
+			e.pool.push(nd)
+		default:
+			e.lost.Add(1)
+		}
+	}()
+	e.dive(w, nd)
 }
 
 // dive processes one pooled node and then follows the nearer branch
@@ -335,6 +397,13 @@ func (e *engine) worker(id int) {
 // original serial search; the pool supplies best-bound load balancing
 // across workers.
 func (e *engine) dive(w *workerCtx, nd *node) {
+	if e.ctx.Err() != nil {
+		e.setHalt(Cancelled)
+		return
+	}
+	if fpWorkerPanic.Fire() {
+		panic("fault: injected worker panic")
+	}
 	// Reset the clone to root bounds, then replay the node's path.
 	for _, col := range w.applied {
 		w.prob.SetBounds(col, w.rootLo[col], w.rootHi[col])
@@ -367,22 +436,51 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 				return
 			}
 			w.statNodes++
-			// The deadline costs a syscall, so consult it every 64 nodes
-			// rather than per node.
-			if seq&63 == 0 && time.Since(e.start) > e.opts.Time {
-				e.setHalt(TimeLimit)
-				return
+			// The deadline (and context poll) cost a syscall, so consult
+			// them every 64 nodes rather than per node.
+			if seq&63 == 0 {
+				if time.Since(e.start) > e.opts.Time {
+					e.setHalt(TimeLimit)
+					return
+				}
+				if e.ctx.Err() != nil {
+					e.setHalt(Cancelled)
+					return
+				}
 			}
 		}
 		w.lpOpts.WarmBasis = warm
 		sol, err := w.prob.Solve(&w.lpOpts)
 		if err != nil {
+			var se *lp.StabilityError
+			if errors.As(err, &se) {
+				// The LP layer already retried from a cold basis; this
+				// subproblem is numerically hopeless. Abandon the subtree
+				// (recorded — it blocks any optimality claim) instead of
+				// poisoning the whole solve.
+				e.lost.Add(1)
+				return
+			}
 			e.fail(err)
 			return
 		}
 		e.lpIters.Add(int64(sol.Iters))
+		if sol.Status == lp.IterLimit {
+			// The node LP ran out of budget: this subtree is unexplored,
+			// not pruned. Halt on the budget when it is the cause;
+			// otherwise record a lost subtree so no proof is claimed.
+			switch {
+			case time.Since(e.start) > e.opts.Time:
+				e.setHalt(TimeLimit)
+			case e.ctx.Err() != nil:
+				e.setHalt(Cancelled)
+			default:
+				e.lost.Add(1)
+			}
+			return
+		}
 		if sol.Status != lp.Optimal {
-			return // infeasible subtree (or numerically hopeless)
+			return // infeasible subtree
 		}
 		lpBound := e.tighten(sol.Obj)
 		inc = e.incObj()
@@ -493,7 +591,7 @@ func (e *engine) trySeparate(w *workerCtx, x []float64) bool {
 func (e *engine) tryHeuristic(w *workerCtx, xLP []float64) bool {
 	cMIPHeurCalls.Inc()
 	e.heurMu.Lock()
-	cand, ok := e.opts.Heuristic(xLP)
+	cand, ok := callHeuristic(e.opts.Heuristic, xLP)
 	e.heurMu.Unlock()
 	if !ok || !feasibleRows(w.prob, cand, 1e-6, w.act, e.trueRows) {
 		return false

@@ -1,0 +1,60 @@
+package nova
+
+import (
+	"testing"
+
+	"repro/internal/cps"
+	"repro/internal/isel"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/ssu"
+	"repro/internal/types"
+)
+
+// FuzzFrontend drives arbitrary source text through the compiler
+// front end — parse, type check, CPS conversion, optimization, SSU,
+// instruction selection — and requires that every malformed input is
+// rejected with positioned diagnostics rather than a panic (DESIGN.md
+// §10). The ILP back end is excluded: its cost is unbounded in the
+// input and it only ever sees well-typed MIR.
+func FuzzFrontend(f *testing.F) {
+	f.Add(`fun main(a: word) -> word { a + 1 }`)
+	f.Add(`fun main(a: word, b: word) -> word { (a + b) ^ (a & b) }`)
+	f.Add(`fun main(a: word) -> word { let x = a * 3; let y = x >> 2; x | y }`)
+	f.Add(`fun main(a: word) -> word { if a < 10 { a + 1 } else { a - 1 } }`)
+	f.Add(`fun helper(x: word) -> word { x ^ 0xff }
+fun main(a: word) -> word { helper(a) + helper(a >> 8) }`)
+	// Near-miss inputs: each one historically reached a panic or an
+	// unpositioned failure somewhere past the lexer.
+	f.Add(`fun main(a: word) -> word { a + }`)
+	f.Add(`fun main(a: word) -> word { a ? b }`)
+	f.Add(`fun main() -> word { let = 3; 0 }`)
+	f.Add(`fun main(a: word) -> word { a + (b * }`)
+	f.Add(`fun fun fun`)
+	f.Add("fun main(a: word) -> word { a }\x00\x01\x02")
+	f.Add(`layout L { x: 4, y: 4 }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4<<10 {
+			t.Skip("oversized input")
+		}
+		file := source.NewFile("fuzz.nova", src)
+		errs := source.NewErrorList(file)
+		prog := parser.Parse(file, errs)
+		if errs.HasErrors() {
+			return
+		}
+		info := types.Check(prog, errs)
+		if errs.HasErrors() {
+			return
+		}
+		c := cps.Convert(info, "main", errs)
+		if errs.HasErrors() {
+			return
+		}
+		opt.Optimize(c)
+		ssu.Transform(c)
+		isel.Select(c)
+	})
+}

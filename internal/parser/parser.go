@@ -496,57 +496,65 @@ func (p *Parser) parseExpr() ast.Expr { return p.parseBinary(1) }
 func (p *Parser) parseBinary(minPrec int) ast.Expr {
 	l := p.parseUnary()
 	for {
-		k := p.cur().Kind
-		prec := k.Prec()
+		t := p.cur()
+		prec := t.Kind.Prec()
 		if prec < minPrec || prec == 0 {
+			return l
+		}
+		op, ok := binOpOf(t.Kind)
+		if !ok {
+			// A token with a precedence but no operator mapping is a
+			// table mismatch; report it at the token instead of
+			// panicking on malformed input.
+			p.errs.Errorf(t.Span, "expected operator, found %v %q", t.Kind, t.Text)
 			return l
 		}
 		p.next()
 		r := p.parseBinary(prec + 1)
-		l = &ast.BinaryExpr{Op: binOpOf(k), L: l, R: r, Sp: l.Span().Union(r.Span())}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r, Sp: l.Span().Union(r.Span())}
 	}
 }
 
-func binOpOf(k token.Kind) ast.BinOp {
+func binOpOf(k token.Kind) (ast.BinOp, bool) {
 	switch k {
 	case token.Plus:
-		return ast.OpAdd
+		return ast.OpAdd, true
 	case token.Minus:
-		return ast.OpSub
+		return ast.OpSub, true
 	case token.Star:
-		return ast.OpMul
+		return ast.OpMul, true
 	case token.Slash:
-		return ast.OpDiv
+		return ast.OpDiv, true
 	case token.Percent:
-		return ast.OpMod
+		return ast.OpMod, true
 	case token.Amp:
-		return ast.OpAnd
+		return ast.OpAnd, true
 	case token.Bar:
-		return ast.OpOr
+		return ast.OpOr, true
 	case token.Caret:
-		return ast.OpXor
+		return ast.OpXor, true
 	case token.Shl:
-		return ast.OpShl
+		return ast.OpShl, true
 	case token.Shr:
-		return ast.OpShr
+		return ast.OpShr, true
 	case token.Eq:
-		return ast.OpEq
+		return ast.OpEq, true
 	case token.Ne:
-		return ast.OpNe
+		return ast.OpNe, true
 	case token.Lt:
-		return ast.OpLt
+		return ast.OpLt, true
 	case token.Gt:
-		return ast.OpGt
+		return ast.OpGt, true
 	case token.Le:
-		return ast.OpLe
+		return ast.OpLe, true
 	case token.Ge:
-		return ast.OpGe
+		return ast.OpGe, true
 	case token.AndAnd:
-		return ast.OpAndAnd
+		return ast.OpAndAnd, true
 	case token.OrOr:
-		return ast.OpOrOr
+		return ast.OpOrOr, true
 	}
-	panic("parser: not a binary operator: " + k.String())
+	return 0, false
 }
 
 func (p *Parser) parseUnary() ast.Expr {
