@@ -7,7 +7,8 @@
 // Usage:
 //
 //	novabench [-table fig5|fig6|fig7|throughput|all] [-cuts=false]
-//	          [-presolve=false] [-json BENCH_mip.json] [-pprof :6060]
+//	          [-presolve=false] [-dual=false] [-devex=false]
+//	          [-json BENCH_mip.json] [-pprof :6060]
 //
 // With -json, novabench instead runs the MIP scaling workload (the
 // same instance as BenchmarkMIPScaling) across worker counts and
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/ixp"
+	"repro/internal/lp"
 	"repro/internal/mip"
 	"repro/internal/nova"
 	"repro/internal/obs"
@@ -52,6 +54,8 @@ var (
 	jobs     = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
 	cuts     = flag.Bool("cuts", true, "root-node cutting planes in the ILP solves")
 	presolve = flag.Bool("presolve", true, "ILP presolve reductions before the solves")
+	dual     = flag.Bool("dual", true, "dual simplex for warm-started node re-solves")
+	devex    = flag.Bool("devex", true, "devex pricing in the LP solves")
 )
 
 func mipOptions() *mip.Options {
@@ -61,6 +65,18 @@ func mipOptions() *mip.Options {
 	}
 	if !*presolve {
 		o.Presolve = -1
+	}
+	if !*dual || !*devex {
+		// Pinning a Method other than Auto stops the tree search from
+		// rerouting warm node re-solves through the dual simplex.
+		lpo := &lp.Options{}
+		if !*dual {
+			lpo.Method = lp.MethodPrimal
+		}
+		if !*devex {
+			lpo.Pricing = lp.PricingDantzig
+		}
+		o.LP = lpo
 	}
 	return o
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/lp"
 	"repro/internal/mip"
 	"repro/internal/mir"
 	"repro/internal/model"
@@ -58,6 +59,18 @@ type Result struct {
 // WriteLP exports the solved integer program in CPLEX LP format, for
 // cross-checking against an external solver.
 func (r *Result) WriteLP(w io.Writer) error { return r.model.WriteLP(w) }
+
+// ModelLP returns a deep copy of the allocator's integer program —
+// the LP relaxation plus the integrality mask — so tests and tools
+// can probe the solver kernel on the paper's real models without
+// aliasing the solved allocation.
+func (r *Result) ModelLP() (*lp.Problem, []bool) {
+	if r.model == nil {
+		return nil, nil
+	}
+	mask := append([]bool(nil), r.model.IntegerMask()...)
+	return r.model.LP().Clone(), mask
+}
 
 // Allocate runs the complete ILP-based register/bank allocation for a
 // MIR program (after SSU). The mipOpts default to the paper's 0.01%

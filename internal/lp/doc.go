@@ -1,7 +1,10 @@
 // Package lp implements a linear-programming solver: a bounded-variable
-// primal simplex over sparse columns with a product-form-of-the-inverse
-// basis representation. It is the substrate under the branch-and-bound
-// MIP solver that stands in for CPLEX in this reproduction.
+// simplex over sparse columns with a sparse LU basis factorization
+// (threshold-Markowitz pivoting, Forrest–Tomlin-style update etas
+// between refactorizations), devex pricing on the primal side, and a
+// dual simplex for warm-started re-solves after bound changes or added
+// rows. It is the substrate under the branch-and-bound MIP solver that
+// stands in for CPLEX in this reproduction.
 //
 // Problems are stated as
 //
@@ -25,12 +28,19 @@
 //		_ = sol.X[x] + sol.X[y]                 // primal values
 //	}
 //
-// Solution.Basis snapshots the final basis; passing it back through
-// Options.WarmBasis after bound changes warm-starts the re-solve, which is
-// how the MIP tree search above this package pays a handful of pivots
-// per node instead of a full solve.
+// Solution.Basis snapshots the final basis — variable states, basis
+// row order, and the LU factorization with its pending update etas.
+// Passing it back through Options.WarmBasis after bound changes
+// warm-starts the re-solve: the factorization is adopted without
+// refactorizing (guarded by a matrix signature), and Options.Method
+// MethodAuto routes the re-solve through the dual simplex, which
+// restores optimality in a handful of pivots instead of a full solve.
+// Options.Method / Options.Pricing pin the algorithm (MethodPrimal,
+// MethodDual, PricingDantzig) for experiments; the defaults choose
+// dual-on-warm and devex.
 //
 // The lp/ observability counters (lp/solves, lp/iterations,
-// lp/degenerate_pivots, lp/bland_activations, lp/refactorizations) are
-// always on and are read via obs.TakeSnapshot — see DESIGN.md §8.
+// lp/dual_iterations, lp/degenerate_pivots, lp/bland_activations,
+// lp/refactorizations, lp/ft_updates, lp/refactor_cadence) are always
+// on and are read via obs.TakeSnapshot — see DESIGN.md §8.
 package lp

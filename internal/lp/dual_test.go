@@ -1,0 +1,179 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// solveBoth solves q cold with the forced primal (the previous
+// revision's path) and warm with the forced dual from basis b, and
+// checks the two agree on status and objective. It returns the two
+// iteration counts for callers that also assert on effort.
+func solveBoth(t *testing.T, q *Problem, b *Basis, label string) (coldIters, warmIters int) {
+	t.Helper()
+	cold, err := q.Solve(&Options{Method: MethodPrimal})
+	if err != nil {
+		t.Fatalf("%s: cold primal: %v", label, err)
+	}
+	warm, err := q.Solve(&Options{Method: MethodDual, WarmBasis: b})
+	if err != nil {
+		t.Fatalf("%s: warm dual: %v", label, err)
+	}
+	if cold.Status != warm.Status {
+		t.Fatalf("%s: status mismatch: cold primal %v, warm dual %v", label, cold.Status, warm.Status)
+	}
+	if cold.Status == Optimal {
+		if diff := math.Abs(cold.Obj - warm.Obj); diff > 1e-6*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("%s: objective mismatch: cold %v, warm dual %v", label, cold.Obj, warm.Obj)
+		}
+	}
+	return cold.Iters, warm.Iters
+}
+
+// TestDualWarmBoundChange branches on a basic variable of a family of
+// assignment LPs (the branch-and-bound node pattern) and checks the
+// warm dual re-solve reaches the cold primal's optimum — and that the
+// dual simplex actually ran.
+func TestDualWarmBoundChange(t *testing.T) {
+	base := obs.TakeSnapshot()
+	for trial := 0; trial < 12; trial++ {
+		p := buildAssignment(5+trial%4, int64(100+trial))
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: root solve %v %v", trial, sol, err)
+		}
+		// Fix the first variable the optimum holds above one half.
+		fix := -1
+		for j, x := range sol.X {
+			if x > 0.5 {
+				fix = j
+				break
+			}
+		}
+		if fix < 0 {
+			continue
+		}
+		q := p.Clone()
+		q.SetBounds(fix, 0, 0)
+		solveBoth(t, q, sol.Basis, "bound change")
+	}
+	if d := obs.Since(base); d["lp/dual_iterations"] == 0 {
+		t.Fatal("lp/dual_iterations = 0: the warm re-solves never took the dual path")
+	}
+}
+
+// TestDualWarmAddRow appends a violated cut row (the cutting-plane
+// pattern) and checks the warm dual re-solve matches a cold primal
+// solve of the grown problem.
+func TestDualWarmAddRow(t *testing.T) {
+	base := obs.TakeSnapshot()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		p := buildAssignment(5+trial%4, int64(200+trial))
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: root solve %v %v", trial, sol, err)
+		}
+		// A random subset row capped strictly below its current
+		// activity is violated at the incumbent point.
+		var cols []int
+		var vals []float64
+		act := 0.0
+		for j, x := range sol.X {
+			if rng.Intn(2) == 0 {
+				cols = append(cols, j)
+				vals = append(vals, 1)
+				act += x
+			}
+		}
+		if len(cols) == 0 || act < 0.75 {
+			continue
+		}
+		p.AddRow(math.Inf(-1), act/2, cols, vals)
+		solveBoth(t, p, sol.Basis, "add-row")
+	}
+	if d := obs.Since(base); d["lp/dual_iterations"] == 0 {
+		t.Fatal("lp/dual_iterations = 0: the cut re-solves never took the dual path")
+	}
+}
+
+// TestDualDetectsInfeasible drives a warm dual re-solve into an
+// infeasible subproblem (bounds that contradict an equality row) and
+// checks it agrees with the cold primal verdict.
+func TestDualDetectsInfeasible(t *testing.T) {
+	p := assignment3()
+	sol, err := p.Solve(nil)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("root: %v %v", sol, err)
+	}
+	q := p.Clone()
+	// Row 0 demands x00+x01+x02 = 1; fixing all three to zero is
+	// hopeless.
+	for j := 0; j < 3; j++ {
+		q.SetBounds(j, 0, 0)
+	}
+	solveBoth(t, q, sol.Basis, "infeasible branch")
+}
+
+// TestDualColdFallsBackToPrimal forces MethodDual on a cold solve
+// whose crash basis is not dual feasible (negative objective
+// coefficients): the dual must hand over to the primal and still
+// reach the optimum, never affect the answer.
+func TestDualColdFallsBackToPrimal(t *testing.T) {
+	p := NewProblem()
+	var cols []int
+	var vals []float64
+	for j := 0; j < 6; j++ {
+		cols = append(cols, p.AddCol(-1-float64(j%3), 0, 1))
+		vals = append(vals, 1)
+	}
+	p.AddRow(math.Inf(-1), 2.5, cols, vals)
+	want, err := p.Solve(&Options{Method: MethodPrimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Solve(&Options{Method: MethodDual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || math.Abs(got.Obj-want.Obj) > 1e-6 {
+		t.Fatalf("dual-forced cold solve: %v obj %v, want %v obj %v",
+			got.Status, got.Obj, want.Status, want.Obj)
+	}
+}
+
+// TestDualWarmCheaperThanCold measures the point of the whole
+// exercise: across a batch of single-bound-change node re-solves, the
+// warm dual path must spend far fewer iterations than cold primal
+// solves of the same subproblems.
+func TestDualWarmCheaperThanCold(t *testing.T) {
+	totalCold, totalWarm := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		p := buildAssignment(8, int64(300+trial))
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, sol, err)
+		}
+		fix := -1
+		for j, x := range sol.X {
+			if x > 0.5 {
+				fix = j
+				break
+			}
+		}
+		if fix < 0 {
+			continue
+		}
+		q := p.Clone()
+		q.SetBounds(fix, 0, 0)
+		c, w := solveBoth(t, q, sol.Basis, "effort")
+		totalCold += c
+		totalWarm += w
+	}
+	if totalWarm*2 >= totalCold {
+		t.Fatalf("warm dual iterations %d not clearly cheaper than cold primal %d", totalWarm, totalCold)
+	}
+}

@@ -1,0 +1,354 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the sparse LU representation of the simplex basis.
+// The basis matrix B is factorized as P B = L U with a Markowitz-style
+// ordering (columns a priori by ascending count, pivot rows by fewest
+// original nonzeros among numerically acceptable candidates), and the
+// factorization is then kept frozen while pivots stack Forrest–Tomlin
+// style product-form updates on top of it (simplex.updates). The
+// frozen luFactor is immutable and shareable: a Basis snapshot carries
+// it (warmFactor) so warm-started re-solves of the same matrix adopt
+// it instead of refactorizing.
+
+// luFactor is a frozen sparse LU factorization of a basis matrix.
+// Elimination step k pivots one basis column on row prow[k]; by the
+// package convention that a variable occupies the basis slot of its
+// pivot row, the step-k component of any ftran lands in w[prow[k]] —
+// exactly the slot of the variable it belongs to.
+type luFactor struct {
+	m   int
+	sig uint64 // matrix signature of the Problem it was computed on
+	nnz int    // stored nonzeros in L and U, diagonals included
+
+	prow []int32 // pivot row of elimination step k
+
+	// L as m unit-diagonal column etas in elimination order: eta k
+	// holds the multipliers for the rows still unpivoted at step k.
+	lptr []int32
+	lind []int32 // row indices
+	lval []float64
+
+	// U by columns in elimination coordinates: column k holds entries
+	// u[k',k] with k' an earlier step (uind) plus the diagonal.
+	uptr  []int32
+	uind  []int32 // elimination-step indices
+	uval  []float64
+	udiag []float64
+}
+
+// warmFactor is the factorization payload a Basis snapshot carries: a
+// shared frozen LU plus a private copy of the update file that was
+// stacked on it when the snapshot was taken.
+type warmFactor struct {
+	lu      *luFactor
+	updates []eta
+	nnz     int // nonzeros in the update file
+}
+
+// lsolveW applies L⁻¹ to the sparse accumulator: the left-looking
+// elimination of every step recorded so far (also used mid-factorize,
+// when the eta file is still growing).
+func (f *luFactor) lsolveW(s *simplex) {
+	for k := 0; k < len(f.prow); k++ {
+		v := s.w[f.prow[k]]
+		if v == 0 {
+			continue
+		}
+		for t := f.lptr[k]; t < f.lptr[k+1]; t++ {
+			i := f.lind[t]
+			if !s.wIn[i] {
+				s.wIn[i] = true
+				s.wTouch = append(s.wTouch, int(i))
+			}
+			s.w[i] -= f.lval[t] * v
+		}
+	}
+}
+
+// usolveW back-substitutes U on the accumulator. After lsolveW this
+// completes B⁻¹w, with the step-k component in w[prow[k]].
+func (f *luFactor) usolveW(s *simplex) {
+	for k := f.m - 1; k >= 0; k-- {
+		r := f.prow[k]
+		v := s.w[r]
+		if v == 0 {
+			continue
+		}
+		x := v / f.udiag[k]
+		s.w[r] = x
+		for t := f.uptr[k]; t < f.uptr[k+1]; t++ {
+			i := int(f.prow[f.uind[t]])
+			if !s.wIn[i] {
+				s.wIn[i] = true
+				s.wTouch = append(s.wTouch, i)
+			}
+			s.w[i] -= f.uval[t] * x
+		}
+	}
+}
+
+// ftranDense solves B z = w in place on a dense vector.
+func (f *luFactor) ftranDense(w []float64) {
+	for k := 0; k < len(f.prow); k++ {
+		v := w[f.prow[k]]
+		if v == 0 {
+			continue
+		}
+		for t := f.lptr[k]; t < f.lptr[k+1]; t++ {
+			w[f.lind[t]] -= f.lval[t] * v
+		}
+	}
+	for k := f.m - 1; k >= 0; k-- {
+		r := f.prow[k]
+		v := w[r]
+		if v == 0 {
+			continue
+		}
+		x := v / f.udiag[k]
+		w[r] = x
+		for t := f.uptr[k]; t < f.uptr[k+1]; t++ {
+			w[f.prow[f.uind[t]]] -= f.uval[t] * x
+		}
+	}
+}
+
+// btranDense solves Bᵀ y = y in place: transposed U forward in
+// elimination order, then the transposed L etas in reverse.
+func (f *luFactor) btranDense(y []float64) {
+	for k := 0; k < f.m; k++ {
+		r := f.prow[k]
+		v := y[r]
+		for t := f.uptr[k]; t < f.uptr[k+1]; t++ {
+			v -= f.uval[t] * y[f.prow[f.uind[t]]]
+		}
+		y[r] = v / f.udiag[k]
+	}
+	for k := f.m - 1; k >= 0; k-- {
+		var sum float64
+		for t := f.lptr[k]; t < f.lptr[k+1]; t++ {
+			sum += f.lval[t] * y[f.lind[t]]
+		}
+		if sum != 0 {
+			y[f.prow[k]] -= sum
+		}
+	}
+}
+
+// addColumn records one elimination step from the accumulator:
+// entries at already-pivoted rows become U column entries, entries at
+// unpivoted rows divided by the pivot become L multipliers.
+func (f *luFactor) addColumn(s *simplex, prow int, pivoted []bool, pos []int32) {
+	piv := s.w[prow]
+	for _, i := range s.wTouch {
+		if i == prow {
+			continue
+		}
+		v := s.w[i]
+		if v < 1e-12 && v > -1e-12 {
+			continue
+		}
+		if pivoted[i] {
+			f.uind = append(f.uind, pos[i])
+			f.uval = append(f.uval, v)
+		} else {
+			f.lind = append(f.lind, int32(i))
+			f.lval = append(f.lval, v/piv)
+		}
+	}
+	f.uptr = append(f.uptr, int32(len(f.uind)))
+	f.lptr = append(f.lptr, int32(len(f.lind)))
+	f.udiag = append(f.udiag, piv)
+	f.prow = append(f.prow, int32(prow))
+}
+
+// factorize computes a fresh LU factorization of the current basis,
+// repairing singularity the same way the old product-form rebuild
+// did: columns that cannot be pivoted leave the basis, rows left
+// unpivoted get their slack back, and a slack that is needed while
+// basic elsewhere is a *StabilityError (the eta arithmetic no longer
+// represents a permutation of the basis). On success s.lu is replaced
+// and the basis arrays are consistent; the caller recomputes xB.
+func (s *simplex) factorize() error {
+	f := &luFactor{
+		m: s.m, sig: s.p.matSig,
+		prow:  make([]int32, 0, s.m),
+		lptr:  make([]int32, 1, s.m+1),
+		uptr:  make([]int32, 1, s.m+1),
+		udiag: make([]float64, 0, s.m),
+	}
+	// Static row counts of the basis matrix drive the Markowitz-style
+	// pivot-row choice below: among numerically acceptable candidates,
+	// the row with the fewest original nonzeros limits fill-in.
+	rowCount := make([]int, s.m)
+	type slot struct {
+		j   int
+		nnz int
+	}
+	slots := make([]slot, 0, s.m)
+	for r := 0; r < s.m; r++ {
+		j := s.basis[r]
+		nnz := 1
+		if j < s.n {
+			nnz = len(s.p.cols[j])
+			for _, nz := range s.p.cols[j] {
+				rowCount[nz.Row]++
+			}
+		} else {
+			rowCount[j-s.n]++
+		}
+		slots = append(slots, slot{j: j, nnz: nnz})
+	}
+	// The column half of the Markowitz product is a priori: ascending
+	// column count, column id breaking ties for determinism.
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].nnz != slots[b].nnz {
+			return slots[a].nnz < slots[b].nnz
+		}
+		return slots[a].j < slots[b].j
+	})
+	pivoted := make([]bool, s.m)
+	pos := make([]int32, s.m) // pivot row -> elimination step
+	newBasis := make([]int, s.m)
+	var failed []int
+	for _, sl := range slots {
+		s.clearW()
+		s.scatterColumn(sl.j)
+		f.lsolveW(s)
+		maxAbs := 0.0
+		for _, i := range s.wTouch {
+			if pivoted[i] {
+				continue
+			}
+			if a := math.Abs(s.w[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs <= 1e-7 {
+			failed = append(failed, sl.j)
+			continue
+		}
+		// Threshold pivoting: any row within 10x of the largest
+		// magnitude is acceptable; among those, fewest original
+		// nonzeros wins (Markowitz), magnitude breaks ties.
+		bestR, bestV, bestC := -1, 0.0, 0
+		thresh := 0.1 * maxAbs
+		for _, i := range s.wTouch {
+			if pivoted[i] {
+				continue
+			}
+			a := math.Abs(s.w[i])
+			if a < thresh {
+				continue
+			}
+			if bestR < 0 || rowCount[i] < bestC || (rowCount[i] == bestC && a > bestV) {
+				bestR, bestV, bestC = i, a, rowCount[i]
+			}
+		}
+		f.addColumn(s, bestR, pivoted, pos)
+		pivoted[bestR] = true
+		pos[bestR] = int32(len(f.prow) - 1)
+		newBasis[bestR] = sl.j
+	}
+	// Repair: failed columns leave the basis; unpivoted rows get their
+	// slack back.
+	for _, j := range failed {
+		s.state[j] = stLower
+		if s.lob(j) == math.Inf(-1) {
+			s.state[j] = stZero
+			if s.hib(j) < Inf {
+				s.state[j] = stUpper
+			}
+		}
+		s.inRow[j] = -1
+	}
+	for r := 0; r < s.m; r++ {
+		if pivoted[r] {
+			continue
+		}
+		j := s.n + r
+		if s.state[j] == stBasic && s.inRow[j] != r {
+			// The slack is basic elsewhere — its column only covers row
+			// r, so the eta file no longer represents a permutation of
+			// the basis (accumulated roundoff).
+			return &StabilityError{Stage: "refactor",
+				Detail: fmt.Sprintf("slack of row %d is basic in row %d", r, s.inRow[j])}
+		}
+		s.clearW()
+		s.w[r] = -1
+		s.touchW(r)
+		f.lsolveW(s)
+		if a := math.Abs(s.w[r]); a <= 1e-10 {
+			return &StabilityError{Stage: "refactor",
+				Detail: fmt.Sprintf("slack repair pivot vanished in row %d", r)}
+		}
+		f.addColumn(s, r, pivoted, pos)
+		pivoted[r] = true
+		pos[r] = int32(len(f.prow) - 1)
+		newBasis[r] = j
+	}
+	copy(s.basis, newBasis)
+	for r := 0; r < s.m; r++ {
+		s.inRow[s.basis[r]] = r
+		s.state[s.basis[r]] = stBasic
+	}
+	f.nnz = len(f.lval) + len(f.uval) + s.m
+	s.lu = f
+	s.fillBudget = 2*f.nnz + 16*s.m
+	return nil
+}
+
+// adoptFactor installs the factorization carried by a warm basis
+// snapshot, skipping the refactorization a cold start would pay. It
+// refuses (reporting false, not an error) when the payload was built
+// on a different matrix, or when its update file is already at the
+// refactorization cadence — adopting it would buy nothing. The
+// lp/refactor_fail fault fires here too, so injected factorization
+// failures reach warm re-solves that would otherwise never refactor.
+func (s *simplex) adoptFactor(b *Basis) (bool, error) {
+	f := b.factor
+	if f == nil || f.lu == nil || f.lu.m != s.m || f.lu.sig != s.p.matSig {
+		return false, nil
+	}
+	if len(f.updates) >= s.opts.RefactorGap || f.nnz > 2*f.lu.nnz+16*s.m {
+		return false, nil
+	}
+	if fpRefactorFail.Fire() {
+		return false, &StabilityError{Stage: "refactor",
+			Detail: "injected repair conflict (carried factorization)", FTDepth: len(f.updates)}
+	}
+	s.lu = f.lu
+	s.updates = append(s.updates[:0], f.updates...)
+	s.updateNnz = f.nnz
+	s.fillBudget = 2*f.lu.nnz + 16*s.m
+	return true, nil
+}
+
+// recomputeXB recomputes the basic values from the nonbasic point:
+// x_B = ftran(-(N x_N)).
+func (s *simplex) recomputeXB() {
+	rhs := make([]float64, s.m)
+	for j := 0; j < s.n+s.m; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		if j < s.n {
+			for _, nz := range s.p.cols[j] {
+				rhs[nz.Row] -= nz.Val * v
+			}
+		} else {
+			rhs[j-s.n] += v
+		}
+	}
+	s.ftran(rhs)
+	copy(s.xB, rhs)
+}

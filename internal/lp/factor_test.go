@@ -1,0 +1,222 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// residualFtran checks B·ftran(v) ≈ v on the simplex's current basis
+// representation, returning the largest componentwise error.
+func residualFtran(s *simplex, v []float64) float64 {
+	z := append([]float64(nil), v...)
+	s.ftran(z)
+	act := make([]float64, s.m)
+	for r := 0; r < s.m; r++ {
+		j := s.basis[r]
+		if j < s.n {
+			for _, nz := range s.p.cols[j] {
+				act[nz.Row] += nz.Val * z[r]
+			}
+		} else {
+			act[j-s.n] -= z[r]
+		}
+	}
+	worst := 0.0
+	for i := range act {
+		if d := math.Abs(act[i] - v[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// residualBtran checks Bᵀ·btran(v) ≈ v the same way.
+func residualBtran(s *simplex, v []float64) float64 {
+	y := append([]float64(nil), v...)
+	s.btran(y)
+	worst := 0.0
+	for r := 0; r < s.m; r++ {
+		j := s.basis[r]
+		var dot float64
+		if j < s.n {
+			for _, nz := range s.p.cols[j] {
+				dot += nz.Val * y[nz.Row]
+			}
+		} else {
+			dot = -y[j-s.n]
+		}
+		if d := math.Abs(dot - v[r]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestLUFactorSolvesAgainstBasis factorizes the optimal basis of a
+// family of LPs and verifies ftran and btran against the basis matrix
+// itself: B·ftran(v) = v and Bᵀ·btran(v) = v for random dense v. This
+// pins the LU construction (elimination order, U coordinates, the
+// transposed solves) independently of any pivoting behavior.
+func TestLUFactorSolvesAgainstBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p := buildAssignment(4+trial%5, int64(trial))
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, sol, err)
+		}
+		var o Options
+		o.fill(p)
+		s := newSimplex(p, &o)
+		if !s.loadBasis(sol.Basis) {
+			t.Fatalf("trial %d: snapshot rejected", trial)
+		}
+		if err := s.refactor(); err != nil {
+			t.Fatalf("trial %d: refactor: %v", trial, err)
+		}
+		v := make([]float64, s.m)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		if d := residualFtran(s, v); d > 1e-8 {
+			t.Fatalf("trial %d: ftran residual %g", trial, d)
+		}
+		if d := residualBtran(s, v); d > 1e-8 {
+			t.Fatalf("trial %d: btran residual %g", trial, d)
+		}
+	}
+}
+
+// TestFTUpdatesKeepSolvesExact forces a tiny problem to stack many
+// Forrest–Tomlin updates without refactorizing (huge RefactorGap) and
+// checks the basis solves stay exact through the update file.
+func TestFTUpdatesKeepSolvesExact(t *testing.T) {
+	p := buildAssignment(8, 3)
+	sol, err := p.Solve(&Options{RefactorGap: 1 << 20})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol, err)
+	}
+	var o Options
+	o.fill(p)
+	o.RefactorGap = 1 << 20
+	s := newSimplex(p, &o)
+	s.crashBasis()
+	if err := s.refactor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(true); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.run(false); err != nil || st != Optimal {
+		t.Fatalf("phase 2: %v %v", st, err)
+	}
+	if len(s.updates) == 0 {
+		t.Fatal("expected a non-empty update file (RefactorGap is huge)")
+	}
+	rng := rand.New(rand.NewSource(5))
+	v := make([]float64, s.m)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	if d := residualFtran(s, v); d > 1e-7 {
+		t.Fatalf("ftran residual through %d updates: %g", len(s.updates), d)
+	}
+	if d := residualBtran(s, v); d > 1e-7 {
+		t.Fatalf("btran residual through %d updates: %g", len(s.updates), d)
+	}
+}
+
+// TestWarmAdoptionSkipsRefactorization re-solves from a snapshot of
+// the same problem (the branch-and-bound pattern: a clone with a
+// changed bound) and asserts the carried factorization was adopted:
+// the warm solve performs no refactorization at all, which is exactly
+// the lp/refactorizations < lp/solves acceptance property.
+func TestWarmAdoptionSkipsRefactorization(t *testing.T) {
+	p := buildAssignment(10, 21)
+	sol, err := p.Solve(nil)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold solve: %v %v", sol, err)
+	}
+	q := p.Clone()
+	q.SetBounds(0, 0, 0) // branch: fix one variable
+	base := obs.TakeSnapshot()
+	warm, err := q.Solve(&Options{WarmBasis: sol.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", warm, err)
+	}
+	d := obs.Since(base)
+	if d["lp/solves"] != 1 {
+		t.Fatalf("lp/solves = %d, want 1", d["lp/solves"])
+	}
+	if d["lp/refactorizations"] != 0 {
+		t.Fatalf("lp/refactorizations = %d, want 0 (factorization adopted)", d["lp/refactorizations"])
+	}
+}
+
+// TestMatrixSignatureGuardsAdoption warm-starts a solve of one matrix
+// with a basis snapshot taken on a different matrix of identical
+// shape. The basis itself is legal (shape-compatible) so it loads,
+// but the carried factorization must be rejected by the signature —
+// the solve refactorizes and still reaches the right optimum.
+func TestMatrixSignatureGuardsAdoption(t *testing.T) {
+	mk := func(c float64) *Problem {
+		p := NewProblem()
+		var cols []int
+		var vals []float64
+		for j := 0; j < 6; j++ {
+			cols = append(cols, p.AddCol(-1-float64(j%3), 0, 1))
+			vals = append(vals, 1+c*float64(j))
+		}
+		p.AddRow(math.Inf(-1), 3, cols, vals)
+		p.AddRow(0.5, 2.5, cols[:3], vals[:3])
+		return p
+	}
+	p1 := mk(0.5)
+	p2 := mk(0.25) // same shape, different matrix coefficients
+	sol1, err := p1.Solve(nil)
+	if err != nil || sol1.Status != Optimal {
+		t.Fatalf("p1: %v %v", sol1, err)
+	}
+	want, err := p2.Solve(nil)
+	if err != nil || want.Status != Optimal {
+		t.Fatalf("p2 cold: %v %v", want, err)
+	}
+	base := obs.TakeSnapshot()
+	got, err := p2.Solve(&Options{WarmBasis: sol1.Basis})
+	if err != nil || got.Status != Optimal {
+		t.Fatalf("p2 warm: %v %v", got, err)
+	}
+	if math.Abs(got.Obj-want.Obj) > 1e-6 {
+		t.Fatalf("foreign-factor warm solve: obj %v, want %v", got.Obj, want.Obj)
+	}
+	if d := obs.Since(base); d["lp/refactorizations"] < 1 {
+		t.Fatalf("lp/refactorizations = %d, want >= 1 (foreign factorization must not be adopted)",
+			d["lp/refactorizations"])
+	}
+}
+
+// TestRefactorCadenceCounters drives a long solve and sanity-checks
+// the new cadence counters: ft_updates tracks pivots, and the
+// cadence accumulator divided by refactorizations is the average
+// update depth a factorization served.
+func TestRefactorCadenceCounters(t *testing.T) {
+	base := obs.TakeSnapshot()
+	p := buildAssignment(20, 9)
+	sol, err := p.Solve(&Options{RefactorGap: 16})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol, err)
+	}
+	d := obs.Since(base)
+	if d["lp/ft_updates"] == 0 {
+		t.Fatal("lp/ft_updates = 0, want > 0")
+	}
+	if d["lp/refactorizations"] == 0 {
+		t.Fatal("lp/refactorizations = 0")
+	}
+	if d["lp/refactor_cadence"] == 0 {
+		t.Fatal("lp/refactor_cadence = 0, want > 0 with RefactorGap 16")
+	}
+}

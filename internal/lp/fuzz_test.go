@@ -63,6 +63,20 @@ func FuzzSolve(f *testing.F) {
 		17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32})
 	f.Add([]byte{0, 0, 128, 128, 128})
 	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	// Degenerate-cycling shape: 8 identical columns against 6 identical
+	// equality rows, every vertex massively degenerate and the basis
+	// repeatedly singular. This is the compact analogue of the presolved
+	// allocator ILP that once span for 85k+ zero-step pivots before the
+	// leaving-side Bland rule landed; it keeps both the anti-cycling
+	// hand-off and the LU repair path in the corpus.
+	cyc := []byte{7, 5}
+	for j := 0; j < 8; j++ {
+		cyc = append(cyc, 120, 0, 4, 1)
+	}
+	for r := 0; r < 6; r++ {
+		cyc = append(cyc, 160, 160, 160, 160, 160, 160, 160, 160, 130, 0, 1)
+	}
+	f.Add(cyc)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
@@ -96,6 +110,60 @@ func FuzzSolve(f *testing.F) {
 			lo, hi := p.RowBounds(r)
 			if a < lo-tol || a > hi+tol {
 				t.Fatalf("row %d activity %v outside [%v, %v]", r, a, lo, hi)
+			}
+		}
+		// Route the follow-up solve through the dual simplex: mutate the
+		// problem the way branch and bound does (fix one variable near
+		// its optimal value, or append a violated cut row — the choice
+		// and the target derived from the input), then compare a cold
+		// forced-primal solve against a warm forced-dual solve. The two
+		// paths must agree on status and, when optimal, on objective.
+		pick := func(i int) byte {
+			if len(data) == 0 {
+				return 0
+			}
+			return data[i%len(data)]
+		}
+		q := p.Clone()
+		if pick(0)%2 == 0 {
+			k := int(pick(1)) % q.NumCols()
+			lo, hi := q.Bounds(k)
+			v := math.Round(sol.X[k])
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			q.SetBounds(k, v, v)
+		} else {
+			var cols []int
+			var vals []float64
+			cut := 0.0
+			for j, x := range sol.X {
+				cols = append(cols, j)
+				vals = append(vals, 1)
+				cut += x
+			}
+			q.AddRow(math.Inf(-1), cut/2, cols, vals)
+		}
+		cold, cerr := q.Solve(&Options{MaxIters: 5000, Method: MethodPrimal})
+		warm, werr := q.Solve(&Options{MaxIters: 5000, Method: MethodDual, WarmBasis: sol.Basis})
+		if cerr != nil || werr != nil {
+			return // instability is allowed; disagreement is not
+		}
+		decided := func(st Status) bool {
+			return st == Optimal || st == Infeasible || st == Unbounded
+		}
+		if !decided(cold.Status) || !decided(warm.Status) {
+			return // an iteration/deadline halt decides nothing
+		}
+		if cold.Status != warm.Status {
+			t.Fatalf("primal/dual disagree: cold primal %v, warm dual %v", cold.Status, warm.Status)
+		}
+		if cold.Status == Optimal {
+			if diff := math.Abs(cold.Obj - warm.Obj); diff > 1e-5*(1+math.Abs(cold.Obj)) {
+				t.Fatalf("primal/dual objective mismatch: %v vs %v", cold.Obj, warm.Obj)
 			}
 		}
 	})

@@ -1,0 +1,221 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// Devex pricing for the primal phase 2 (Forrest–Goldfarb reference
+// weights, approximating steepest edge without the extra ftran per
+// candidate). The loop maintains the full reduced-cost vector
+// incrementally — one btran of the pivot row plus a pass over the
+// nonbasic columns per pivot, the same work a single Dantzig pricing
+// pass costs — and recomputes it exactly at every refactorization and
+// once more before optimality is declared, so maintained-cost drift
+// can never produce a false optimum. Long degenerate runs hand the
+// phase to the Bland-guarded Dantzig loop (blandSwitch), preserving
+// the anti-cycling guarantee.
+
+// initPricing (re)initializes the maintained reduced costs and resets
+// every devex weight to the current nonbasic reference framework.
+func (s *simplex) initPricing() {
+	if s.d == nil {
+		s.d = make([]float64, s.n+s.m)
+		s.gamma = make([]float64, s.n+s.m)
+	}
+	s.computeReducedCosts()
+	for j := range s.gamma {
+		s.gamma[j] = 1
+	}
+}
+
+// computeReducedCosts recomputes d exactly for the phase-2 objective:
+// one btran of the basic costs plus a pass over every column.
+func (s *simplex) computeReducedCosts() {
+	for r := 0; r < s.m; r++ {
+		s.y[r] = s.costOf(s.basis[r], false)
+	}
+	s.btran(s.y)
+	for j := 0; j < s.n+s.m; j++ {
+		if s.state[j] == stBasic {
+			s.d[j] = 0
+			continue
+		}
+		d := s.costOf(j, false)
+		if j < s.n {
+			for _, nz := range s.p.cols[j] {
+				d -= s.y[nz.Row] * nz.Val
+			}
+		} else {
+			d += s.y[j-s.n]
+		}
+		s.d[j] = d
+	}
+}
+
+// priceDevex picks the entering variable maximizing d²/γ over the
+// eligible nonbasics, returning (-1, 0) when none is eligible.
+func (s *simplex) priceDevex(tol float64) (int, float64) {
+	enter := -1
+	var enterDir, best float64
+	for j := 0; j < s.n+s.m; j++ {
+		d := s.d[j]
+		var dir float64
+		switch s.state[j] {
+		case stLower:
+			if d < -tol {
+				dir = 1
+			}
+		case stUpper:
+			if d > tol {
+				dir = -1
+			}
+		case stZero:
+			if d < -tol {
+				dir = 1
+			} else if d > tol {
+				dir = -1
+			}
+		default:
+			continue
+		}
+		if dir == 0 {
+			continue
+		}
+		if score := d * d / s.gamma[j]; score > best {
+			best, enter, enterDir = score, j, dir
+		}
+	}
+	return enter, enterDir
+}
+
+// updatePricing carries the maintained reduced costs and devex
+// weights across one pivot (entering q at basis row slot r). It must
+// run before the basis arrays are mutated: it reads the pivot element
+// from the accumulator (the ftran image of q) and prices the pivot
+// row against the still-current nonbasic set.
+func (s *simplex) updatePricing(q, r int) {
+	for i := range s.y {
+		s.y[i] = 0
+	}
+	s.y[r] = 1
+	s.btran(s.y)
+	aq := s.w[r]
+	theta := s.d[q] / aq
+	gq := s.gamma[q]
+	for j := 0; j < s.n+s.m; j++ {
+		if s.state[j] == stBasic || j == q {
+			continue
+		}
+		var a float64
+		if j < s.n {
+			for _, nz := range s.p.cols[j] {
+				a += s.y[nz.Row] * nz.Val
+			}
+		} else {
+			a = -s.y[j-s.n]
+		}
+		if a == 0 {
+			continue
+		}
+		s.d[j] -= theta * a
+		if g := (a / aq) * (a / aq) * gq; g > s.gamma[j] {
+			s.gamma[j] = g
+		}
+	}
+	leaving := s.basis[r]
+	s.d[leaving] = -theta
+	s.d[q] = 0
+	if g := gq / (aq * aq); g > 1 {
+		s.gamma[leaving] = g
+	} else {
+		s.gamma[leaving] = 1
+	}
+}
+
+// runDevex is the phase-2 pivot loop under devex pricing. It returns
+// blandSwitch when a degenerate run exceeds the anti-cycling
+// threshold; solveOnce then finishes the phase with the Bland-guarded
+// Dantzig loop.
+func (s *simplex) runDevex() (Status, error) {
+	tol := s.opts.Tol
+	checkClock := !s.opts.Deadline.IsZero()
+	s.initPricing()
+	exact := true // d matches an exact recompute
+	for ; s.iter < s.opts.MaxIters; s.iter++ {
+		if checkClock && s.iter&255 == 0 && time.Now().After(s.opts.Deadline) {
+			return IterLimit, nil
+		}
+		enter, enterDir := s.priceDevex(tol)
+		if enter < 0 && !exact {
+			// The maintained costs claim optimality; confirm against an
+			// exact recompute before declaring it.
+			s.computeReducedCosts()
+			exact = true
+			enter, enterDir = s.priceDevex(tol)
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		exact = false
+		s.clearW()
+		s.scatterColumn(enter)
+		s.ftranW()
+		leave, leaveToUpper, limit, maxAbsW := s.ratioTest(enter, enterDir, false, tol)
+		if limit == Inf {
+			return Unbounded, nil
+		}
+		if limit <= 1e-11 {
+			s.degenerate++
+			s.degenTotal++
+			if s.degenerate > 1000 {
+				s.bland = true
+				return blandSwitch, nil
+			}
+		} else {
+			s.degenerate = 0
+		}
+		step := enterDir * limit
+		for _, r := range s.wTouch {
+			if s.w[r] != 0 {
+				s.xB[r] -= s.w[r] * step
+			}
+		}
+		if leave < 0 {
+			// Bound flip: reduced costs and weights are unaffected.
+			if s.state[enter] == stLower {
+				s.state[enter] = stUpper
+			} else {
+				s.state[enter] = stLower
+			}
+			continue
+		}
+		s.updatePricing(enter, leave)
+		leaving := s.basis[leave]
+		if leaveToUpper {
+			s.state[leaving] = stUpper
+		} else {
+			s.state[leaving] = stLower
+		}
+		if s.hib(leaving) == Inf && s.lob(leaving) == math.Inf(-1) {
+			s.state[leaving] = stZero
+		}
+		s.inRow[leaving] = -1
+		enterVal := s.nonbasicValue(enter) + step
+		s.basis[leave] = enter
+		s.inRow[enter] = leave
+		s.state[enter] = stBasic
+		piv := math.Abs(s.w[leave])
+		s.pushEtaW(leave)
+		s.xB[leave] = enterVal
+		refd, err := s.maybeRefactor(piv < 1e-8*maxAbsW)
+		if err != nil {
+			return IterLimit, err
+		}
+		if refd {
+			s.computeReducedCosts()
+			exact = true
+		}
+	}
+	return IterLimit, nil
+}

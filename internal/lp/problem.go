@@ -23,6 +23,20 @@ type Problem struct {
 	hi    []float64
 	rowLo []float64
 	rowHi []float64
+
+	// matSig is an order-sensitive hash of the constraint matrix,
+	// updated incrementally by AddCol/AddRow and copied by Clone. A
+	// basis factorization is stamped with it, so a warm-started solve
+	// only adopts a carried factorization when the matrix it was
+	// computed on is (structurally) the same one being solved. Bound
+	// and objective edits leave it alone — they do not change B.
+	matSig uint64
+}
+
+// mix folds one event into the matrix signature (FNV-style).
+func (p *Problem) mix(x uint64) {
+	h := (p.matSig ^ x) * 1099511628211
+	p.matSig = h ^ (h >> 29)
 }
 
 // NewProblem returns an empty problem.
@@ -50,6 +64,7 @@ func (p *Problem) AddCol(obj, lo, hi float64) int {
 	p.obj = append(p.obj, obj)
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
+	p.mix(0x9e3779b97f4a7c15 ^ uint64(len(p.cols)))
 	return len(p.cols) - 1
 }
 
@@ -65,9 +80,12 @@ func (p *Problem) AddRow(lo, hi float64, cols []int, vals []float64) int {
 	r := len(p.rowLo)
 	p.rowLo = append(p.rowLo, lo)
 	p.rowHi = append(p.rowHi, hi)
+	p.mix(0xbf58476d1ce4e5b9 ^ uint64(r))
 	for i, c := range cols {
 		if vals[i] != 0 {
 			p.cols[c] = append(p.cols[c], Nz{Row: r, Val: vals[i]})
+			p.mix(uint64(c))
+			p.mix(math.Float64bits(vals[i]))
 		}
 	}
 	return r
@@ -143,6 +161,15 @@ func (s Status) String() string {
 type Basis struct {
 	State []int8 // varState values, length NumCols()+NumRows()
 	Order []int  // Order[r] = variable occupying basis row slot r
+
+	// factor optionally carries the LU factorization and its
+	// Forrest–Tomlin update file from the solve that produced the
+	// snapshot. A warm-started re-solve on the same matrix (validated
+	// by the matrix signature) adopts it instead of refactorizing, so
+	// a branch-and-bound node pays for a factorization only when the
+	// update file has grown past the refactorization cadence. The
+	// payload is frozen and shared; it is never mutated in place.
+	factor *warmFactor
 }
 
 // Solution is the result of a solve.
@@ -181,8 +208,41 @@ func (p *Problem) Clone() *Problem {
 	for j, c := range p.cols {
 		q.cols[j] = append([]Nz(nil), c...)
 	}
+	q.matSig = p.matSig
 	return q
 }
+
+// Method selects the simplex algorithm for a solve.
+type Method int
+
+const (
+	// MethodAuto runs the dual simplex when a usable warm basis was
+	// loaded (the branch-and-bound re-solve case, where a bound change
+	// or an appended row leaves the old basis dual feasible) and the
+	// two-phase primal simplex otherwise.
+	MethodAuto Method = iota
+	// MethodPrimal forces the two-phase primal simplex — the previous
+	// revision's behavior on every solve.
+	MethodPrimal
+	// MethodDual asks for the dual simplex. Solves that cannot start
+	// dual feasible (or that stall) fall back to the primal
+	// automatically; the answer is never affected, only the path.
+	MethodDual
+)
+
+// Pricing selects the primal phase-2 pricing rule.
+type Pricing int
+
+const (
+	// PricingDevex is the default: devex reference weights
+	// approximating steepest edge, with incrementally maintained
+	// reduced costs and an exact recompute before optimality is
+	// declared. Bland's rule still takes over on long degenerate runs.
+	PricingDevex Pricing = iota
+	// PricingDantzig reproduces the previous revision's most-negative
+	// reduced-cost rule (full pricing every iteration).
+	PricingDantzig
+)
 
 // Options tunes the solver.
 type Options struct {
@@ -201,6 +261,13 @@ type Options struct {
 	// match the problem's dimensions (or is internally inconsistent)
 	// is ignored and the solve falls back to the crash basis.
 	WarmBasis *Basis
+
+	// Method selects the simplex variant (see MethodAuto).
+	Method Method
+
+	// Pricing selects the primal phase-2 pricing rule (devex by
+	// default; PricingDantzig reproduces the previous revision).
+	Pricing Pricing
 }
 
 func (o *Options) fill(p *Problem) {

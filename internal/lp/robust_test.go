@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -63,6 +64,48 @@ func TestRefactorFailurePersistentIsTypedError(t *testing.T) {
 	}
 	if se.Stage != "refactor" {
 		t.Fatalf("stage = %q, want refactor", se.Stage)
+	}
+	if !strings.Contains(se.Error(), "ft-update depth") {
+		t.Fatalf("error %q does not report the FT-update depth", se.Error())
+	}
+}
+
+// TestStabilityErrorReportsFTDepth stacks update etas on a
+// factorization (huge RefactorGap, so nothing collapses them), then
+// makes the next refactorization fail and checks the error reports
+// exactly the update depth it was trying to collapse.
+func TestStabilityErrorReportsFTDepth(t *testing.T) {
+	p := buildAssignment(8, 3)
+	var o Options
+	o.fill(p)
+	o.RefactorGap = 1 << 20
+	s := newSimplex(p, &o)
+	s.crashBasis()
+	if err := s.refactor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(true); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.run(false); err != nil || st != Optimal {
+		t.Fatalf("phase 2: %v %v", st, err)
+	}
+	depth := len(s.updates)
+	if depth == 0 {
+		t.Fatal("no update etas stacked; the fixture no longer exercises the contract")
+	}
+	plan, err := fault.Parse("lp/refactor_fail@1:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(plan)
+	defer fault.Reset()
+	var se *StabilityError
+	if rerr := s.refactor(); !errors.As(rerr, &se) {
+		t.Fatalf("got %v, want *StabilityError", rerr)
+	}
+	if se.FTDepth != depth {
+		t.Fatalf("FTDepth = %d, want %d (the depth being collapsed)", se.FTDepth, depth)
 	}
 }
 

@@ -2,9 +2,7 @@ package lp
 
 import (
 	"errors"
-	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/fault"
@@ -17,22 +15,33 @@ import (
 // refactor_retries and drift_resolves count the recovery ladder's
 // steps (DESIGN.md §10): crash-basis restarts after a repair conflict,
 // and fresh-basis re-solves after residual drift was detected at an
-// optimum.
+// optimum. dual_iterations counts the subset of lp/iterations spent in
+// the dual simplex, ft_updates the Forrest–Tomlin update etas stacked
+// on factorizations, and refactor_cadence the update depth collapsed
+// at each refactorization (cadence / refactorizations = average
+// updates a factorization served before being rebuilt).
 var (
 	cSolves          = obs.NewCounter("lp/solves")
 	cIters           = obs.NewCounter("lp/iterations")
+	cDualIters       = obs.NewCounter("lp/dual_iterations")
+	cBoundFlips      = obs.NewCounter("lp/bound_flips")
 	cDegen           = obs.NewCounter("lp/degenerate_pivots")
 	cBland           = obs.NewCounter("lp/bland_activations")
 	cRefactors       = obs.NewCounter("lp/refactorizations")
+	cFTUpdates       = obs.NewCounter("lp/ft_updates")
+	cCadence         = obs.NewCounter("lp/refactor_cadence")
 	cRefactorRetries = obs.NewCounter("lp/refactor_retries")
 	cDriftResolves   = obs.NewCounter("lp/drift_resolves")
 )
 
 // Fault-injection points (internal/fault; disarmed they cost one
-// atomic load). refactor_fail simulates a basis repair conflict,
-// perturb corrupts one basic value after phase 2 (payload = magnitude)
-// to exercise the drift re-solve, and solve_latency sleeps at solve
-// entry (payload = milliseconds) to exercise budget handling upstream.
+// atomic load). refactor_fail simulates a basis repair conflict —
+// fired both by refactorizations and by warm solves adopting a
+// carried factorization, so the fault reaches solves that never
+// refactor. perturb corrupts one basic value after phase 2 (payload =
+// magnitude) to exercise the drift re-solve, and solve_latency sleeps
+// at solve entry (payload = milliseconds) to exercise budget handling
+// upstream.
 var (
 	fpRefactorFail = fault.NewPoint("lp/refactor_fail")
 	fpPerturb      = fault.NewPoint("lp/perturb")
@@ -50,9 +59,17 @@ const (
 	stZero // nonbasic free variable held at zero
 )
 
-// eta is one product-form update: the basis changed by pivoting the
-// column with (pre-pivot) Ftran image v at row r. The pivot value
-// v[r] is stored separately; idx/val hold only the off-pivot entries.
+// Internal status sentinels threaded between the pivot loops; they
+// never escape solveOnce.
+const (
+	blandSwitch Status = -1 // devex hands the phase to the Bland-guarded loop
+	dualBail    Status = -2 // dual simplex defers to the primal phases
+)
+
+// eta is one Forrest–Tomlin-style product-form update stacked on the
+// LU factorization: the basis changed by pivoting the column with
+// (pre-pivot) ftran image v at row r. The pivot value v[r] is stored
+// separately; idx/val hold only the off-pivot entries.
 type eta struct {
 	r   int
 	piv float64
@@ -69,17 +86,31 @@ type simplex struct {
 	basis []int     // basis[r] = variable occupying row slot r
 	inRow []int     // inRow[var] = row slot, or -1
 	xB    []float64 // value of basis[r]
-	etas  []eta
+
+	// Basis representation: a frozen sparse LU factorization plus the
+	// update etas stacked on it since. fillBudget bounds the update
+	// file's nonzeros (set from the factorization's own fill) so the
+	// refactorization cadence tracks fill-in, not just a fixed count.
+	lu         *luFactor
+	updates    []eta
+	updateNnz  int
+	fillBudget int
 
 	// scratch. w is a sparse accumulator: wTouch lists the indices
 	// that may be nonzero and wIn marks membership, so hot loops never
 	// scan all m rows.
-	w        []float64 // ftran work (dense storage)
-	wTouch   []int
-	wIn      []bool
-	y        []float64 // btran work
-	iter     int
-	baseEtas int // eta count right after the last refactorization
+	w      []float64 // ftran work (dense storage)
+	wTouch []int
+	wIn    []bool
+	y      []float64 // btran work
+	iter   int
+	// pricing state (allocated on first use): maintained phase-2
+	// reduced costs, devex column weights, dual row weights, and the
+	// pivot-row coefficients of the current dual iteration.
+	d     []float64
+	gamma []float64
+	rowW  []float64
+	alpha []float64
 	// degeneracy handling
 	degenerate int
 	bland      bool
@@ -87,6 +118,10 @@ type simplex struct {
 	// solve (degenerate above is the *consecutive* count that triggers
 	// Bland's rule; degenTotal never resets).
 	degenTotal int
+	dualIters  int
+	boundFlips int
+	ftUpdates  int
+	cadence    int
 	refactors  int
 	// recovery-ladder state (DESIGN.md §10): each kind of restart is
 	// attempted at most once per solve.
@@ -134,10 +169,13 @@ func (s *simplex) scatterColumn(j int) {
 	})
 }
 
-// ftranW solves B z = w in place on the sparse accumulator.
+// ftranW solves B z = w in place on the sparse accumulator: through
+// the LU factors, then through the update etas in stacking order.
 func (s *simplex) ftranW() {
-	for k := range s.etas {
-		e := &s.etas[k]
+	s.lu.lsolveW(s)
+	s.lu.usolveW(s)
+	for k := range s.updates {
+		e := &s.updates[k]
 		wr := s.w[e.r]
 		if wr == 0 {
 			continue
@@ -154,7 +192,39 @@ func (s *simplex) ftranW() {
 	}
 }
 
-// pushEtaW records the accumulator as an eta with pivot row r.
+// ftran solves B z = w in place (w dense).
+func (s *simplex) ftran(w []float64) {
+	s.lu.ftranDense(w)
+	for k := range s.updates {
+		e := &s.updates[k]
+		wr := w[e.r]
+		if wr == 0 {
+			continue
+		}
+		zr := wr / e.piv
+		w[e.r] = zr
+		for i, ix := range e.idx {
+			w[ix] -= e.val[i] * zr
+		}
+	}
+}
+
+// btran solves Bᵀ z = y in place (y dense): transposed update etas in
+// reverse stacking order, then the transposed LU factors.
+func (s *simplex) btran(y []float64) {
+	for k := len(s.updates) - 1; k >= 0; k-- {
+		e := &s.updates[k]
+		var sum float64
+		for i, ix := range e.idx {
+			sum += e.val[i] * y[ix]
+		}
+		y[e.r] = (y[e.r] - sum) / e.piv
+	}
+	s.lu.btranDense(y)
+}
+
+// pushEtaW records the accumulator as a Forrest–Tomlin update eta
+// with pivot row r.
 func (s *simplex) pushEtaW(r int) {
 	var idx []int32
 	var val []float64
@@ -168,7 +238,9 @@ func (s *simplex) pushEtaW(r int) {
 			val = append(val, v)
 		}
 	}
-	s.etas = append(s.etas, eta{r: r, piv: piv, idx: idx, val: val})
+	s.updates = append(s.updates, eta{r: r, piv: piv, idx: idx, val: val})
+	s.updateNnz += len(idx) + 1
+	s.ftUpdates++
 }
 
 // lob/hib return the bounds of any variable (structural or slack).
@@ -221,8 +293,12 @@ func (s *simplex) value(j int) float64 {
 func (s *simplex) flushStats() {
 	cSolves.Inc()
 	cIters.Add(int64(s.iter))
+	cDualIters.Add(int64(s.dualIters))
+	cBoundFlips.Add(int64(s.boundFlips))
 	cDegen.Add(int64(s.degenTotal))
 	cRefactors.Add(int64(s.refactors))
+	cFTUpdates.Add(int64(s.ftUpdates))
+	cCadence.Add(int64(s.cadence))
 	cRefactorRetries.Add(int64(s.retries))
 	cDriftResolves.Add(int64(s.driftRetries))
 	if s.bland {
@@ -230,13 +306,13 @@ func (s *simplex) flushStats() {
 	}
 }
 
-// solve runs the two-phase simplex with the §10 recovery ladder
-// around it: a refactorization repair conflict restarts the whole
-// solve once from the all-slack crash basis (which cannot conflict),
-// and an optimal point whose recomputed row activities have drifted
-// from the incrementally maintained values is re-solved once from a
-// fresh basis. Each recovery is attempted at most once per solve; a
-// second failure surfaces as a *StabilityError.
+// solve runs the simplex with the §10 recovery ladder around it: a
+// refactorization repair conflict restarts the whole solve once from
+// the all-slack crash basis (which cannot conflict), and an optimal
+// point whose recomputed row activities have drifted from the
+// incrementally maintained values is re-solved once from a fresh
+// basis. Each recovery is attempted at most once per solve; a second
+// failure surfaces as a *StabilityError.
 func (s *simplex) solve() (*Solution, error) {
 	defer s.flushStats()
 	if ms, ok := fpLatency.Value(); ok {
@@ -270,15 +346,48 @@ func (s *simplex) solve() (*Solution, error) {
 	}
 }
 
-// solveOnce is one two-phase pass from the given warm basis (nil for
-// the crash basis); solve wraps it with the recovery ladder.
+// solveOnce is one pass from the given warm basis (nil for the crash
+// basis); solve wraps it with the recovery ladder. The path through
+// the kernel: load or crash the basis, adopt the carried
+// factorization or compute a fresh one, run the dual simplex when the
+// start is a warm re-solve (Options.Method), then the primal phases
+// for whatever remains.
 func (s *simplex) solveOnce(warm *Basis) (*Solution, error) {
 	s.reset()
-	if warm == nil || !s.loadBasis(warm) {
+	warmLoaded := warm != nil && s.loadBasis(warm)
+	if !warmLoaded {
 		s.crashBasis()
 	}
-	if err := s.refactor(); err != nil {
+	adopted := false
+	if warmLoaded {
+		ok, err := s.adoptFactor(warm)
+		if err != nil {
+			return nil, err
+		}
+		adopted = ok
+	}
+	if adopted {
+		s.recomputeXB()
+	} else if err := s.refactor(); err != nil {
 		return nil, err
+	}
+	// Dual simplex: after a bound change or an appended row the old
+	// basis stays dual feasible while the point is primal infeasible —
+	// the dual iterates from there instead of re-entering phase 1.
+	tryDual := s.opts.Method == MethodDual ||
+		(s.opts.Method == MethodAuto && warmLoaded)
+	if tryDual && s.infeasibility() > s.opts.Tol {
+		st, err := s.runDual()
+		if err != nil {
+			return nil, err
+		}
+		switch st {
+		case Infeasible, IterLimit:
+			return &Solution{Status: st, Iters: s.iter}, nil
+		}
+		// Optimal: the point is primal feasible now and phase 2 below
+		// re-verifies optimality exactly (usually zero pivots).
+		// dualBail: the primal phases take over from where it stopped.
 	}
 	// Phase 1: drive out infeasibility.
 	if s.infeasibility() > s.opts.Tol {
@@ -299,7 +408,16 @@ func (s *simplex) solveOnce(warm *Basis) (*Solution, error) {
 		}
 	}
 	// Phase 2: optimize.
-	st, err := s.run(false)
+	var st Status
+	var err error
+	if s.opts.Pricing == PricingDantzig {
+		st, err = s.run(false)
+	} else {
+		st, err = s.runDevex()
+		if err == nil && st == blandSwitch {
+			st, err = s.run(false)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +435,10 @@ func (s *simplex) solveOnce(warm *Basis) (*Solution, error) {
 // The iteration count is kept: MaxIters bounds the total work of a
 // solve including its restarts.
 func (s *simplex) reset() {
-	s.etas = s.etas[:0]
-	s.baseEtas = 0
+	s.lu = nil
+	s.updates = s.updates[:0]
+	s.updateNnz = 0
+	s.fillBudget = 0
 	s.degenerate = 0
 	s.bland = false
 	for i := range s.xB {
@@ -389,11 +509,10 @@ func (s *simplex) crashBasis() {
 // and the structural column count must match; the new rows' slacks
 // enter the basis, so the re-solve restarts from the incumbent basis
 // instead of a cold crash. It validates the snapshot and reports
-// whether it was usable; the caller refactors afterwards, which also
-// repairs any singularity and recomputes the basic values against the
-// current bounds. Nonbasic states are re-sanitized against the
-// (possibly changed) bounds so nonbasicValue never reads an infinite
-// bound.
+// whether it was usable; the caller factorizes (or adopts the carried
+// factorization) afterwards. Nonbasic states are re-sanitized against
+// the (possibly changed) bounds so nonbasicValue never reads an
+// infinite bound.
 func (s *simplex) loadBasis(b *Basis) bool {
 	m0 := len(b.Order)
 	if m0 > s.m || len(b.State) != s.n+m0 {
@@ -456,13 +575,22 @@ func (s *simplex) loadBasis(b *Basis) bool {
 	return true
 }
 
-// snapshot captures the current basis for warm-started re-solves.
+// snapshot captures the current basis for warm-started re-solves,
+// carrying the frozen factorization plus a private copy of the update
+// file so an adopting solve can skip its refactorization.
 func (s *simplex) snapshot() *Basis {
 	b := &Basis{State: make([]int8, s.n+s.m), Order: make([]int, s.m)}
 	for j, st := range s.state {
 		b.State[j] = int8(st)
 	}
 	copy(b.Order, s.basis)
+	if s.lu != nil && s.lu.m == s.m {
+		b.factor = &warmFactor{
+			lu:      s.lu,
+			updates: append([]eta(nil), s.updates...),
+			nnz:     s.updateNnz,
+		}
+	}
 	return b
 }
 
@@ -502,7 +630,108 @@ func (s *simplex) costOf(j int, phase1 bool) float64 {
 	return 0
 }
 
-// run iterates the primal simplex until optimality for the phase. A
+// ratioTest finds the blocking basic variable for the entering column
+// currently in the accumulator. It returns the leaving row slot (-1
+// for a bound flip), which bound the leaving variable hits, the step
+// limit, and the largest |w| seen (callers use it to judge the pivot
+// magnitude). Tie-breaking among rows at the minimum ratio: normally
+// the largest pivot (numerical stability), but under Bland's rule the
+// smallest basis index — the anti-cycling guarantee needs the
+// smallest-index rule on BOTH the entering and the leaving choice,
+// and with only the entering side covered the search can stall on a
+// degenerate face indefinitely (observed on a presolved allocator
+// ILP: 85k+ zero-step pivots at the optimal objective without
+// termination).
+func (s *simplex) ratioTest(enter int, enterDir float64, phase1 bool, tol float64) (leave int, leaveToUpper bool, limit, maxAbsW float64) {
+	limit = s.hib(enter) - s.lob(enter) // bound-to-bound flip distance
+	if s.state[enter] == stZero {
+		limit = Inf
+	}
+	leave = -1
+	bestPiv := 0.0
+	for _, r := range s.wTouch {
+		wr := s.w[r]
+		aw := math.Abs(wr)
+		if aw > maxAbsW {
+			maxAbsW = aw
+		}
+		if aw < 1e-9 {
+			continue
+		}
+		j := s.basis[r]
+		x := s.xB[r]
+		lo, hi := s.lob(j), s.hib(j)
+		// Basic j moves at rate -wr*enterDir per unit of entering.
+		rate := -wr * enterDir
+		var room float64
+		var toUpper bool
+		if phase1 {
+			// Infeasible basics move to their violated bound;
+			// feasible basics stay within their bounds.
+			switch {
+			case x < lo-tol:
+				if rate > 0 {
+					room, toUpper = (lo-x)/rate, false
+				} else {
+					continue
+				}
+			case x > hi+tol:
+				if rate < 0 {
+					room, toUpper = (hi-x)/rate, true
+				} else {
+					continue
+				}
+			default:
+				if rate > 0 {
+					if hi == Inf {
+						continue
+					}
+					room, toUpper = (hi-x)/rate, true
+				} else {
+					if lo == math.Inf(-1) {
+						continue
+					}
+					room, toUpper = (lo-x)/rate, false
+				}
+			}
+		} else {
+			if rate > 0 {
+				if hi == Inf {
+					continue
+				}
+				room, toUpper = (hi-x)/rate, true
+			} else {
+				if lo == math.Inf(-1) {
+					continue
+				}
+				room, toUpper = (lo-x)/rate, false
+			}
+		}
+		if room < 0 {
+			room = 0
+		}
+		better := room < limit-1e-12
+		if !better && room < limit+1e-12 {
+			if s.bland {
+				better = leave < 0 || s.basis[r] < s.basis[leave]
+			} else {
+				better = aw > bestPiv
+			}
+		}
+		if better {
+			limit = room
+			leave = r
+			leaveToUpper = toUpper
+			bestPiv = aw
+		}
+	}
+	return leave, leaveToUpper, limit, maxAbsW
+}
+
+// run iterates the primal simplex until optimality for the phase,
+// with Dantzig pricing (most negative reduced cost) and Bland's rule
+// after long degenerate runs. Phase 1 always uses this loop; phase 2
+// only under PricingDantzig or after a devex Bland handoff. A
 // non-nil error is a refactorization failure that already consumed
 // the recovery retry (solve restarts on it); the Status is meaningful
 // only when the error is nil. Options.Deadline, when set, is checked
@@ -570,94 +799,7 @@ func (s *simplex) run(phase1 bool) (Status, error) {
 		s.scatterColumn(enter)
 		s.ftranW()
 
-		// Ratio test.
-		limit := s.hib(enter) - s.lob(enter) // bound-to-bound flip distance
-		if s.state[enter] == stZero {
-			limit = Inf
-		}
-		leave := -1
-		leaveToUpper := false
-		bestPiv := 0.0
-		for _, r := range s.wTouch {
-			wr := s.w[r]
-			if math.Abs(wr) < 1e-9 {
-				continue
-			}
-			j := s.basis[r]
-			x := s.xB[r]
-			lo, hi := s.lob(j), s.hib(j)
-			// Basic j moves at rate -wr*enterDir per unit of entering.
-			rate := -wr * enterDir
-			var room float64
-			var toUpper bool
-			if phase1 {
-				// Infeasible basics move to their violated bound;
-				// feasible basics stay within their bounds.
-				switch {
-				case x < lo-tol:
-					if rate > 0 {
-						room, toUpper = (lo-x)/rate, false
-					} else {
-						continue // moving further away is allowed in composite phase 1? stop it: block
-					}
-				case x > hi+tol:
-					if rate < 0 {
-						room, toUpper = (hi-x)/rate, true
-					} else {
-						continue
-					}
-				default:
-					if rate > 0 {
-						if hi == Inf {
-							continue
-						}
-						room, toUpper = (hi-x)/rate, true
-					} else {
-						if lo == math.Inf(-1) {
-							continue
-						}
-						room, toUpper = (lo-x)/rate, false
-					}
-				}
-			} else {
-				if rate > 0 {
-					if hi == Inf {
-						continue
-					}
-					room, toUpper = (hi-x)/rate, true
-				} else {
-					if lo == math.Inf(-1) {
-						continue
-					}
-					room, toUpper = (lo-x)/rate, false
-				}
-			}
-			if room < 0 {
-				room = 0
-			}
-			// Tie-breaking among rows at the minimum ratio: normally the
-			// largest pivot (numerical stability), but under Bland's rule
-			// the smallest basis index — the anti-cycling guarantee needs
-			// the smallest-index rule on BOTH the entering and the leaving
-			// choice, and with only the entering side covered the search
-			// can stall on a degenerate face indefinitely (observed on a
-			// presolved allocator ILP: 85k+ zero-step pivots at the
-			// optimal objective without termination).
-			better := room < limit-1e-12
-			if !better && room < limit+1e-12 {
-				if s.bland {
-					better = leave < 0 || s.basis[r] < s.basis[leave]
-				} else {
-					better = math.Abs(wr) > bestPiv
-				}
-			}
-			if better {
-				limit = room
-				leave = r
-				leaveToUpper = toUpper
-				bestPiv = math.Abs(wr)
-			}
-		}
+		leave, leaveToUpper, limit, maxAbsW := s.ratioTest(enter, enterDir, phase1, tol)
 		if limit == Inf {
 			return Unbounded, nil
 		}
@@ -701,166 +843,52 @@ func (s *simplex) run(phase1 bool) (Status, error) {
 		s.basis[leave] = enter
 		s.inRow[enter] = leave
 		s.state[enter] = stBasic
+		piv := math.Abs(s.w[leave])
 		s.pushEtaW(leave)
 		s.xB[leave] = enterVal
-		if len(s.etas)-s.baseEtas >= s.opts.RefactorGap {
-			if err := s.refactor(); err != nil {
-				return IterLimit, err
-			}
+		if _, err := s.maybeRefactor(piv < 1e-8*maxAbsW); err != nil {
+			return IterLimit, err
 		}
 	}
 	return IterLimit, nil
 }
 
-// pushEta records the current w (the Ftran image of the entering
-// column) as an eta with pivot row r.
-func (s *simplex) pushEta(r int) {
-	var idx []int32
-	var val []float64
-	for i, v := range s.w {
-		if math.Abs(v) > 1e-12 {
-			idx = append(idx, int32(i))
-			val = append(val, v)
-		}
-	}
-	s.etas = append(s.etas, eta{r: r, idx: idx, val: val})
-}
-
-// ftran solves B z = w in place (w dense).
-func (s *simplex) ftran(w []float64) {
-	for k := range s.etas {
-		e := &s.etas[k]
-		wr := w[e.r]
-		if wr == 0 {
-			continue
-		}
-		zr := wr / e.piv
-		w[e.r] = zr
-		for i, ix := range e.idx {
-			w[ix] -= e.val[i] * zr
-		}
-	}
-}
-
-// btran solves B' z = y in place (y dense).
-func (s *simplex) btran(y []float64) {
-	for k := len(s.etas) - 1; k >= 0; k-- {
-		e := &s.etas[k]
-		var sum float64
-		for i, ix := range e.idx {
-			sum += e.val[i] * y[ix]
-		}
-		y[e.r] = (y[e.r] - sum) / e.piv
-	}
-}
-
-// refactor rebuilds the eta file from the current basis and recomputes
-// the basic values. Singular bases are repaired by swapping in slacks;
-// a repair conflict (a slack needed for an unpivoted row while basic
-// elsewhere) returns a *StabilityError instead of guessing, and solve
-// restarts once from the crash basis — which, starting from the
-// identity, cannot conflict.
+// refactor collapses the update file into a fresh LU factorization of
+// the current basis and recomputes the basic values. Singular bases
+// are repaired by swapping in slacks; a repair conflict (a slack
+// needed for an unpivoted row while basic elsewhere) returns a
+// *StabilityError instead of guessing, and solve restarts once from
+// the crash basis — which, starting from the identity, cannot
+// conflict.
 func (s *simplex) refactor() error {
 	s.refactors++
+	depth := len(s.updates)
+	s.cadence += depth
 	if fpRefactorFail.Fire() {
-		return &StabilityError{Stage: "refactor", Detail: "injected repair conflict"}
+		return &StabilityError{Stage: "refactor", Detail: "injected repair conflict", FTDepth: depth}
 	}
-	s.etas = s.etas[:0]
-	// Process basis columns in order of increasing sparsity.
-	type slot struct {
-		j   int
-		nnz int
+	s.updates = s.updates[:0]
+	s.updateNnz = 0
+	if err := s.factorize(); err != nil {
+		var se *StabilityError
+		if errors.As(err, &se) {
+			se.FTDepth = depth
+		}
+		return err
 	}
-	slots := make([]slot, 0, s.m)
-	for r := 0; r < s.m; r++ {
-		j := s.basis[r]
-		nnz := 1
-		if j < s.n {
-			nnz = len(s.p.cols[j])
-		}
-		slots = append(slots, slot{j: j, nnz: nnz})
-	}
-	sort.Slice(slots, func(a, b int) bool {
-		if slots[a].nnz != slots[b].nnz {
-			return slots[a].nnz < slots[b].nnz
-		}
-		return slots[a].j < slots[b].j
-	})
-	pivoted := make([]bool, s.m)
-	newBasis := make([]int, s.m)
-	var failed []int
-	for _, sl := range slots {
-		s.clearW()
-		s.scatterColumn(sl.j)
-		s.ftranW()
-		// Choose the unpivoted row with the largest magnitude.
-		bestR, bestV := -1, 1e-7
-		for _, r := range s.wTouch {
-			if !pivoted[r] && math.Abs(s.w[r]) > bestV {
-				bestR, bestV = r, math.Abs(s.w[r])
-			}
-		}
-		if bestR < 0 {
-			failed = append(failed, sl.j)
-			continue
-		}
-		pivoted[bestR] = true
-		newBasis[bestR] = sl.j
-		s.pushEtaW(bestR)
-	}
-	// Repair: failed columns leave the basis; unpivoted rows get their
-	// slack back.
-	for _, j := range failed {
-		s.state[j] = stLower
-		if s.lob(j) == math.Inf(-1) {
-			s.state[j] = stZero
-			if s.hib(j) < Inf {
-				s.state[j] = stUpper
-			}
-		}
-		s.inRow[j] = -1
-	}
-	for r := 0; r < s.m; r++ {
-		if pivoted[r] {
-			continue
-		}
-		j := s.n + r
-		if s.state[j] == stBasic && s.inRow[j] != r {
-			// The slack is basic elsewhere — its column only covers row
-			// r, so this means the eta file no longer represents a
-			// permutation of the basis (accumulated roundoff).
-			return &StabilityError{Stage: "refactor",
-				Detail: fmt.Sprintf("slack of row %d is basic in row %d", r, s.inRow[j])}
-		}
-		newBasis[r] = j
-		s.state[j] = stBasic
-		s.inRow[j] = r
-		s.clearW()
-		s.w[r] = -1
-		s.touchW(r)
-		s.ftranW()
-		s.pushEtaW(r)
-		pivoted[r] = true
-	}
-	s.basis = newBasis
-	for r := 0; r < s.m; r++ {
-		s.inRow[s.basis[r]] = r
-		s.state[s.basis[r]] = stBasic
-	}
-	// Recompute basic values: x_B = Ftran(-(N x_N)).
-	rhs := make([]float64, s.m)
-	for j := 0; j < s.n+s.m; j++ {
-		if s.state[j] == stBasic {
-			continue
-		}
-		v := s.nonbasicValue(j)
-		if v == 0 {
-			continue
-		}
-		s.column(j, func(row int, val float64) { rhs[row] -= val * v })
-	}
-	s.ftran(rhs)
-	copy(s.xB, rhs)
-	s.baseEtas = len(s.etas)
+	s.recomputeXB()
 	return nil
+}
+
+// maybeRefactor applies the refactorization cadence: rebuild when the
+// update file reached Options.RefactorGap etas, when its fill passed
+// the budget set from the factorization's own nonzeros, or when the
+// caller saw a pivot bad enough to distrust the arithmetic (force).
+// It reports whether a refactorization happened so callers can
+// refresh state derived from the old factors.
+func (s *simplex) maybeRefactor(force bool) (bool, error) {
+	if !force && len(s.updates) < s.opts.RefactorGap && s.updateNnz <= s.fillBudget {
+		return false, nil
+	}
+	return true, s.refactor()
 }

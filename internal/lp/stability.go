@@ -1,5 +1,7 @@
 package lp
 
+import "fmt"
+
 // StabilityError reports a numerical failure the simplex could not
 // recover from on its own. The solver's recovery ladder (DESIGN.md
 // §10) retries once from the all-slack crash basis before surfacing
@@ -10,8 +12,16 @@ package lp
 type StabilityError struct {
 	Stage  string // "refactor" (basis repair conflict) or "residual" (drift re-solve failed)
 	Detail string
+
+	// FTDepth is the number of Forrest–Tomlin updates stacked on the
+	// factorization when the failure was detected — the depth of the
+	// update file the refactorization was trying to collapse. A large
+	// depth points at the update cadence; zero means even a fresh
+	// factorization of the basis failed.
+	FTDepth int
 }
 
 func (e *StabilityError) Error() string {
-	return "lp: numerical instability in " + e.Stage + ": " + e.Detail
+	return fmt.Sprintf("lp: numerical instability in %s (ft-update depth %d): %s",
+		e.Stage, e.FTDepth, e.Detail)
 }

@@ -41,7 +41,9 @@ func NewTableauView(p *Problem, b *Basis) (*TableauView, bool) {
 	if b == nil || !s.loadBasis(b) {
 		return nil, false
 	}
-	s.refactor()
+	if s.refactor() != nil {
+		return nil, false
+	}
 	return &TableauView{s: s}, true
 }
 

@@ -500,13 +500,19 @@ func objOf(p *lp.Problem, x []float64) float64 {
 	return obj
 }
 
-// warmOpts copies the caller's LP options with a warm basis installed.
+// warmOpts copies the caller's LP options with a warm basis installed
+// and — unless the caller pinned a method — the dual simplex selected:
+// every warm re-solve in this package follows a bound change or an
+// appended cut row, which leaves the incumbent basis dual feasible.
 func warmOpts(base *lp.Options, b *lp.Basis) *lp.Options {
 	var o lp.Options
 	if base != nil {
 		o = *base
 	}
 	o.WarmBasis = b
+	if o.Method == lp.MethodAuto {
+		o.Method = lp.MethodDual
+	}
 	return &o
 }
 

@@ -450,6 +450,17 @@ func (e *engine) dive(w *workerCtx, nd *node) {
 			}
 		}
 		w.lpOpts.WarmBasis = warm
+		// A node re-solve only changed branching bounds since the warm
+		// basis was snapshot, so it is dual feasible: iterate on the
+		// dual instead of re-entering primal phase 1. Respect a method
+		// the caller pinned; cold restarts keep the primal.
+		if e.opts.LP == nil || e.opts.LP.Method == lp.MethodAuto {
+			if warm != nil {
+				w.lpOpts.Method = lp.MethodDual
+			} else {
+				w.lpOpts.Method = lp.MethodAuto
+			}
+		}
 		sol, err := w.prob.Solve(&w.lpOpts)
 		if err != nil {
 			var se *lp.StabilityError

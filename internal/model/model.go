@@ -189,6 +189,10 @@ func (m *Model) FamilyCount(family string) int { return m.families[family] }
 // LP exposes the underlying problem (for bounds fixing in tests).
 func (m *Model) LP() *lp.Problem { return m.lp }
 
+// IntegerMask reports which columns are integer-constrained. The
+// returned slice is shared; callers must not mutate it.
+func (m *Model) IntegerMask() []bool { return m.integer }
+
 // Solve presolves the model (unless opts.Presolve < 0) and runs branch
 // and bound on the reduction. Solutions are reported in the model's
 // own coordinates — presolve's column remap is applied on the way out,
