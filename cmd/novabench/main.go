@@ -18,6 +18,12 @@
 // With -pprof, an HTTP server on the given address serves
 // net/http/pprof profiles at /debug/pprof/ and the obs counter values
 // at /debug/counters while the benchmarks run (DESIGN.md §8).
+//
+// With -server host:port, novabench instead replays the three paper
+// workloads and the MultiKnapsack solver benchmark against a live
+// novad and reports per-tier serving latency percentiles (cold,
+// source hit, model hit, near miss); -json writes the record
+// BENCH_server.json holds.
 package main
 
 import (
@@ -101,7 +107,16 @@ func main() {
 	which := flag.String("table", "all", "table to print: fig5, fig6, fig7, throughput, all")
 	jsonOut := flag.String("json", "", "run the MIP scaling workload and write a JSON benchmark record to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/counters on this address while running")
+	serverAddr := flag.String("server", "", "benchmark a live novad at this address (host:port) instead of compiling locally; with -json, writes BENCH_server.json-style output there")
+	rounds := flag.Int("rounds", 20, "replays per cache tier in -server mode")
 	flag.Parse()
+	if *serverAddr != "" {
+		if err := runServerBench(*serverAddr, *rounds, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *pprofAddr != "" {
 		// DefaultServeMux already carries the /debug/pprof/ handlers
 		// from the blank net/http/pprof import.

@@ -1,0 +1,263 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/lp"
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// knapsackModel builds a MultiKnapsack instance wrapped in a Model,
+// cloning the problem so callers can reuse the generator output.
+func knapsackModel(n, m int, seed int64) (*model.Model, *lp.Problem, []bool) {
+	p := mip.MultiKnapsack(n, m, seed)
+	mask := make([]bool, p.NumCols())
+	for j := range mask {
+		mask[j] = true
+	}
+	return model.FromILP(p.Clone(), mask), p, mask
+}
+
+// coldSolve runs one uncached solve through a fresh hook so AfterSolve
+// populates c, returning the result.
+func coldSolve(t *testing.T, c *Cache, m *model.Model, workers int) *mip.Result {
+	t.Helper()
+	h := &Hook{C: c}
+	opts := &mip.Options{Workers: workers}
+	if _, served := h.BeforeSolve(m, opts); served {
+		t.Fatal("cold request served from cache")
+	}
+	res, err := m.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Fatalf("cold solve status %v", res.Status)
+	}
+	h.AfterSolve(m, res)
+	return res
+}
+
+func TestExactHitServed(t *testing.T) {
+	c := New(Config{})
+	m, p, mask := knapsackModel(20, 6, 1)
+	base := obs.TakeSnapshot()
+	cold := coldSolve(t, c, m, 1)
+
+	// Resubmit the identical problem: must be served without a solve.
+	m2 := model.FromILP(p.Clone(), mask)
+	h := &Hook{C: c}
+	x, served := h.BeforeSolve(m2, &mip.Options{Workers: 1})
+	if !served || h.Outcome != OutcomeHit {
+		t.Fatalf("resubmit not served: served=%v outcome=%v", served, h.Outcome)
+	}
+	if err := m2.CheckFeasible(x, 1e-6); err != nil {
+		t.Fatalf("served point infeasible: %v", err)
+	}
+	if got, want := m2.Objective(x), cold.Obj; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("served objective %g, want %g", got, want)
+	}
+	d := obs.Since(base)
+	if d["cache/hits"] != 1 || d["cache/misses"] != 1 {
+		t.Fatalf("counter deltas: hits=%d misses=%d", d["cache/hits"], d["cache/misses"])
+	}
+}
+
+func TestPermutedModelHit(t *testing.T) {
+	// Build the same knapsack with columns and rows declared in a
+	// shuffled order: the exact hash must match and the cached optimum
+	// must translate onto the permuted coordinates.
+	c := New(Config{})
+	m, p, mask := knapsackModel(20, 6, 2)
+	cold := coldSolve(t, c, m, 1)
+
+	rng := rand.New(rand.NewSource(5))
+	n := p.NumCols()
+	colPerm := rng.Perm(n) // new index i holds old column colPerm[i]
+	oldToNew := make([]int, n)
+	for i, j := range colPerm {
+		oldToNew[j] = i
+	}
+	q := lp.NewProblem()
+	for _, j := range colPerm {
+		lo, hi := p.Bounds(j)
+		q.AddCol(p.Obj(j), lo, hi)
+	}
+	type rnz struct {
+		col int
+		val float64
+	}
+	rows := make([][]rnz, p.NumRows())
+	for j := 0; j < n; j++ {
+		for _, nz := range p.Col(j) {
+			rows[nz.Row] = append(rows[nz.Row], rnz{oldToNew[j], nz.Val})
+		}
+	}
+	for _, r := range rng.Perm(p.NumRows()) {
+		lo, hi := p.RowBounds(r)
+		cols := make([]int, len(rows[r]))
+		vals := make([]float64, len(rows[r]))
+		for k, e := range rows[r] {
+			cols[k], vals[k] = e.col, e.val
+		}
+		q.AddRow(lo, hi, cols, vals)
+	}
+
+	m2 := model.FromILP(q, mask)
+	h := &Hook{C: c}
+	x, served := h.BeforeSolve(m2, &mip.Options{Workers: 1})
+	if !served || h.Outcome != OutcomeHit {
+		t.Fatalf("permuted resubmit not served: served=%v outcome=%v", served, h.Outcome)
+	}
+	if err := m2.CheckFeasible(x, 1e-6); err != nil {
+		t.Fatalf("translated point infeasible: %v", err)
+	}
+	if got, want := m2.Objective(x), cold.Obj; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("translated objective %g, want %g", got, want)
+	}
+}
+
+func TestNearMissWarmStart(t *testing.T) {
+	// A bound edit after a cached solve must warm-start: seed, basis,
+	// cut pool, and the transferred optimality proof together should
+	// cut nodes+iterations by well over the required 2x.
+	c := New(Config{})
+	m, p, mask := knapsackModel(34, 12, 7)
+	cold := coldSolve(t, c, m, 1)
+
+	// Fix a variable that is zero in the optimum: the region shrinks
+	// (cuts stay valid) and the incumbent stays feasible and optimal.
+	jz := -1
+	for j, v := range cold.X {
+		if v < 1e-9 {
+			jz = j
+			break
+		}
+	}
+	if jz < 0 {
+		t.Fatal("no zero variable in knapsack optimum")
+	}
+	q := p.Clone()
+	q.SetBounds(jz, 0, 0)
+
+	// Reference: the edited model solved cold.
+	ref, err := model.FromILP(q.Clone(), mask).Solve(&mip.Options{Workers: 1})
+	if err != nil || ref.Status != mip.Optimal {
+		t.Fatalf("reference solve: %v %v", ref.Status, err)
+	}
+
+	base := obs.TakeSnapshot()
+	m2 := model.FromILP(q, mask)
+	h := &Hook{C: c}
+	opts := &mip.Options{Workers: 1}
+	if _, served := h.BeforeSolve(m2, opts); served {
+		t.Fatal("near miss served as exact hit")
+	}
+	if h.Outcome != OutcomeNearMiss {
+		t.Fatalf("outcome %v, want near_miss", h.Outcome)
+	}
+	if opts.Seed == nil || opts.WarmBasis == nil || len(opts.SeedCuts) == 0 || opts.LowerBound == nil {
+		t.Fatalf("warm-start material missing: seed=%v basis=%v cuts=%d lb=%v",
+			opts.Seed != nil, opts.WarmBasis != nil, len(opts.SeedCuts), opts.LowerBound != nil)
+	}
+	warm, err := m2.Solve(opts)
+	if err != nil || warm.Status != mip.Optimal {
+		t.Fatalf("warm solve: %v %v", warm.Status, err)
+	}
+	if math.Abs(warm.Obj-ref.Obj) > 1e-6 {
+		t.Fatalf("warm objective %g, cold reference %g", warm.Obj, ref.Obj)
+	}
+
+	coldWork := cold.Nodes + cold.LPIters
+	warmWork := warm.Nodes + warm.LPIters
+	if warmWork*2 > coldWork {
+		t.Fatalf("warm start too weak: cold %d nodes + %d iters, warm %d + %d",
+			cold.Nodes, cold.LPIters, warm.Nodes, warm.LPIters)
+	}
+	d := obs.Since(base)
+	if d["cache/near_misses"] != 1 {
+		t.Fatalf("near_misses delta %d", d["cache/near_misses"])
+	}
+	if d["mip/bound_proofs"] != 1 {
+		t.Fatalf("bound_proofs delta %d (optimality proof did not transfer)", d["mip/bound_proofs"])
+	}
+}
+
+func TestCorruptEntryFallsBack(t *testing.T) {
+	c := New(Config{})
+	m, p, mask := knapsackModel(20, 6, 3)
+	cold := coldSolve(t, c, m, 1)
+
+	plan, err := fault.Parse("cache/corrupt@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(plan)
+	defer fault.Reset()
+
+	base := obs.TakeSnapshot()
+	m2 := model.FromILP(p.Clone(), mask)
+	h := &Hook{C: c}
+	opts := &mip.Options{Workers: 1}
+	if _, served := h.BeforeSolve(m2, opts); served {
+		t.Fatal("corrupted entry was served")
+	}
+	d := obs.Since(base)
+	if d["cache/validation_drops"] != 1 {
+		t.Fatalf("validation_drops delta %d", d["cache/validation_drops"])
+	}
+	if c.Len() != 0 {
+		t.Fatalf("corrupted entry not dropped: %d entries", c.Len())
+	}
+	// The fallback solve still produces the right answer.
+	res, err := m2.Solve(opts)
+	if err != nil || res.Status != mip.Optimal {
+		t.Fatalf("fallback solve: %v %v", res.Status, err)
+	}
+	if math.Abs(res.Obj-cold.Obj) > 1e-6 {
+		t.Fatalf("fallback objective %g, want %g", res.Obj, cold.Obj)
+	}
+}
+
+func TestEvictionEntryCap(t *testing.T) {
+	base := obs.TakeSnapshot()
+	c := New(Config{MaxEntries: 2})
+	for seed := int64(0); seed < 3; seed++ {
+		m, _, _ := knapsackModel(8, 3, seed)
+		coldSolve(t, c, m, 1)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries after cap: %d, want 2", c.Len())
+	}
+	if d := obs.Since(base); d["cache/evictions"] != 1 {
+		t.Fatalf("evictions delta %d", d["cache/evictions"])
+	}
+	// The oldest model is gone: resubmitting it misses.
+	m, _, _ := knapsackModel(8, 3, 0)
+	h := &Hook{C: c}
+	if _, served := h.BeforeSolve(m, &mip.Options{Workers: 1}); served {
+		t.Fatal("evicted entry served")
+	}
+	if h.Outcome != OutcomeMiss {
+		t.Fatalf("outcome %v, want miss", h.Outcome)
+	}
+}
+
+func TestEvictionByteCap(t *testing.T) {
+	c := New(Config{MaxEntries: 64, MaxBytes: 250})
+	for i := 0; i < 3; i++ {
+		c.PutOutput(fmt.Sprintf("k%d", i), make([]byte, 100))
+	}
+	if _, ok := c.GetOutput("k0"); ok {
+		t.Fatal("oldest output survived the byte cap")
+	}
+	if _, ok := c.GetOutput("k2"); !ok {
+		t.Fatal("newest output evicted")
+	}
+}

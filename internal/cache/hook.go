@@ -1,0 +1,434 @@
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/lp"
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// corruptPoint lets fault plans flip a value in a cache-served
+// solution before it reaches validation, proving the validation gate
+// catches corrupted entries (fault plan "cache/corrupt@1", etc.).
+var corruptPoint = fault.NewPoint("cache/corrupt")
+
+// Outcome classifies what the cache did for one request.
+type Outcome int
+
+const (
+	OutcomeNone     Outcome = iota // hook never consulted (e.g. fallback-forced)
+	OutcomeMiss                    // cold: no usable entry
+	OutcomeNearMiss                // warm-started from a structural match
+	OutcomeHit                     // served a verified cached allocation
+)
+
+// String returns the wire name of the outcome, as reported in novad
+// responses ("miss", "near_miss", "hit", "none").
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeNearMiss:
+		return "near_miss"
+	case OutcomeHit:
+		return "hit"
+	default:
+		return "none"
+	}
+}
+
+// Hook adapts one compile request to the cache. It implements
+// core.Options.Hook (core duck-types the interface so core does not
+// import this package). A Hook is single-use and not concurrency-safe;
+// the server creates one per request and reads Outcome afterwards.
+type Hook struct {
+	C *Cache
+
+	// Filled in by BeforeSolve.
+	Outcome    Outcome
+	Structural string
+	Exact      string
+
+	canon *model.Canon
+}
+
+// feasTol is the validation tolerance for cache-served points. It
+// matches the solver's own integrality tolerance.
+const feasTol = 1e-6
+
+// BeforeSolve implements the exact-hit and near-miss tiers.
+//
+// Exact tier: an entry with the same Exact hash encodes the same
+// optimization problem up to variable/row permutation. Before its
+// stored point is served, the canonical pairing is verified to be a
+// genuine matrix isomorphism with matching bounds and objective
+// (verifyIso/regionEqual/sameObjective — canonical orders can pair
+// truly symmetric variables arbitrarily, and hashes can in principle
+// collide), and the translated point is re-verified with
+// model.CheckFeasible. Verification failure falls through to a normal
+// solve; a point that fails feasibility after a verified pairing is
+// corrupt and the entry is dropped.
+//
+// Near-miss tier: an entry with the same Structural hash has the same
+// constraint matrix but different bounds or objective. Its incumbent
+// and root basis are installed as warm-start material uncondition-
+// ally — both are re-validated downstream by the solver, so stale or
+// mistranslated material costs at most the warm-up it fails to
+// provide. Cut reuse and the optimality-proof lower bound change what
+// the solver may conclude, so they additionally require the verified
+// isomorphism. The solve runs with presolve off so the cached
+// full-coordinate basis remains adoptable.
+func (h *Hook) BeforeSolve(m *model.Model, opts *mip.Options) ([]float64, bool) {
+	h.canon = m.Canonicalize()
+	h.Structural = h.canon.Structural
+	h.Exact = h.canon.Exact
+
+	if e := h.C.lookupExact(h.canon.Exact); e != nil {
+		if verifyIso(e, h.canon, m) && regionEqual(e, h.canon, m) && sameObjective(e, h.canon, m) {
+			if x := mapSolution(e, h.canon, m.LP().NumCols()); x != nil {
+				if corruptPoint.Fire() {
+					x[e.colOrder[0]] += 0.5
+				}
+				if m.CheckFeasible(x, feasTol) == nil {
+					cHits.Inc()
+					h.Outcome = OutcomeHit
+					return x, true
+				}
+			}
+			cDrops.Inc()
+			h.C.drop(e)
+		}
+	}
+
+	if e := h.C.lookupStructural(h.canon.Structural); e != nil {
+		cNearMisses.Inc()
+		h.Outcome = OutcomeNearMiss
+		opts.Presolve = -1
+		if x := mapSolution(e, h.canon, m.LP().NumCols()); x != nil {
+			opts.Seed = x // re-verified inside mip.Solve
+		}
+		if e.basis != nil {
+			opts.WarmBasis = mapBasis(e, h.canon)
+		}
+		if verifyIso(e, h.canon, m) && (e.region == h.canon.Region || regionSubset(e, h.canon, m)) {
+			if len(e.cuts) > 0 {
+				// Cached cuts are valid inequalities for the integer
+				// points of the cached feasible region, so they remain
+				// valid for any request whose region is the same or a
+				// subset of it — the common bound-tightening edit (§12
+				// safety argument). The tree starts from the tightened
+				// root.
+				opts.SeedCuts = mapCuts(e, h.canon)
+			}
+			if sameObjective(e, h.canon, m) {
+				// Minimizing the same objective over a subset of the
+				// cached region cannot beat the cached optimum, so it is
+				// a proven global lower bound: if the seeded incumbent
+				// still attains it, the optimality proof transfers and
+				// the solve ends at the root (mip/bound_proofs).
+				lb := e.obj
+				opts.LowerBound = &lb
+			}
+		}
+		return nil, false
+	}
+
+	cMisses.Inc()
+	h.Outcome = OutcomeMiss
+	return nil, false
+}
+
+// AfterSolve populates the cache from a verified optimal solve.
+func (h *Hook) AfterSolve(m *model.Model, res *mip.Result) {
+	if res == nil || res.Status != mip.Optimal || res.X == nil {
+		return
+	}
+	if h.canon == nil {
+		h.canon = m.Canonicalize()
+	}
+	p := m.LP()
+	basis := res.RootBasis
+	if basis == nil {
+		// Presolve changed coordinates during the solve, so the root
+		// basis was discarded; recover a full-coordinate one with a
+		// single cold LP solve (cheap next to the tree search it will
+		// save on the next near miss).
+		cPopulateLPs.Inc()
+		if sol, err := p.Clone().Solve(nil); err == nil && sol.Status == lp.Optimal {
+			basis = sol.Basis
+		}
+	}
+	e := &entry{
+		structural: h.canon.Structural,
+		region:     h.canon.Region,
+		exact:      h.canon.Exact,
+		nCols:      p.NumCols(),
+		nRows:      p.NumRows(),
+		colOrder:   append([]int(nil), h.canon.ColOrder...),
+		rowOrder:   append([]int(nil), h.canon.RowOrder...),
+		x:          append([]float64(nil), res.X...),
+		obj:        m.Objective(res.X),
+		basis:      basis,
+		cuts:       res.PoolCuts,
+		colLo:      make([]float64, p.NumCols()),
+		colHi:      make([]float64, p.NumCols()),
+		rowLo:      make([]float64, p.NumRows()),
+		rowHi:      make([]float64, p.NumRows()),
+		objCoef:    make([]float64, p.NumCols()),
+	}
+	for j := 0; j < p.NumCols(); j++ {
+		e.colLo[j], e.colHi[j] = p.Bounds(j)
+		e.objCoef[j] = p.Obj(j)
+	}
+	for r := 0; r < p.NumRows(); r++ {
+		e.rowLo[r], e.rowHi[r] = p.RowBounds(r)
+	}
+	e.integer = append([]bool(nil), m.IntegerMask()...)
+	rowPos := make([]int, p.NumRows()) // cached row -> canonical position
+	for i, r := range h.canon.RowOrder {
+		rowPos[r] = i
+	}
+	e.colSig = make([][]sigNZ, p.NumCols())
+	for j := 0; j < p.NumCols(); j++ {
+		col := p.Col(j)
+		sig := make([]sigNZ, len(col))
+		for k, nz := range col {
+			sig[k] = sigNZ{rowPos[nz.Row], nz.Val}
+		}
+		sort.Slice(sig, func(a, b int) bool { return sig[a].pos < sig[b].pos })
+		e.colSig[j] = sig
+	}
+	e.bytes = entryBytes(e)
+	h.C.put(e)
+}
+
+// verifyIso checks that the pairing induced by the two canonical
+// orders is a genuine isomorphism of the constraint matrices: every
+// paired column has the same integrality and the same nonzeros at the
+// same canonical row positions with bitwise-equal coefficients. Since
+// every nonzero of both matrices is covered, passing this check means
+// the requesting model's matrix IS the cached matrix up to the paired
+// permutation — which is what makes translated cuts and transferred
+// optimality proofs sound even when WL colors leave symmetric
+// variables ambiguous or hashes collide.
+func verifyIso(e *entry, canon *model.Canon, m *model.Model) bool {
+	p := m.LP()
+	if p.NumCols() != e.nCols || p.NumRows() != e.nRows {
+		return false
+	}
+	if len(e.colSig) != e.nCols || len(e.integer) != e.nCols {
+		return false
+	}
+	if len(canon.ColOrder) != e.nCols || len(canon.RowOrder) != e.nRows {
+		return false
+	}
+	mask := m.IntegerMask()
+	rowPos := make([]int, e.nRows) // requester row -> canonical position
+	for i, r := range canon.RowOrder {
+		rowPos[r] = i
+	}
+	scratch := make([]sigNZ, 0, 64)
+	for i, jNew := range canon.ColOrder {
+		jc := e.colOrder[i]
+		if mask[jNew] != e.integer[jc] {
+			return false
+		}
+		sig := e.colSig[jc]
+		col := p.Col(jNew)
+		if len(col) != len(sig) {
+			return false
+		}
+		scratch = scratch[:0]
+		for _, nz := range col {
+			scratch = append(scratch, sigNZ{rowPos[nz.Row], nz.Val})
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].pos < scratch[b].pos })
+		for k := range sig {
+			if scratch[k] != sig[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// regionEqual reports whether the requesting model's bounds and row
+// ranges are bitwise equal to the cached entry's at every matching
+// canonical position — the exact-tier analogue of regionSubset.
+func regionEqual(e *entry, canon *model.Canon, m *model.Model) bool {
+	p := m.LP()
+	if len(e.colLo) != e.nCols || len(e.rowLo) != e.nRows {
+		return false
+	}
+	if p.NumCols() != e.nCols || p.NumRows() != e.nRows {
+		return false
+	}
+	for i, jNew := range canon.ColOrder {
+		lo, hi := p.Bounds(jNew)
+		jc := e.colOrder[i]
+		if lo != e.colLo[jc] || hi != e.colHi[jc] {
+			return false
+		}
+	}
+	for i, rNew := range canon.RowOrder {
+		lo, hi := p.RowBounds(rNew)
+		rc := e.rowOrder[i]
+		if lo != e.rowLo[rc] || hi != e.rowHi[rc] {
+			return false
+		}
+	}
+	return true
+}
+
+// regionSubset reports whether the requesting model's feasible region
+// is contained in the cached entry's: every variable bound and row
+// range at the matching canonical position is at least as tight.
+// Bounds were recorded in cached coordinates, so the comparison walks
+// the two canonical orders in lockstep.
+func regionSubset(e *entry, canon *model.Canon, m *model.Model) bool {
+	p := m.LP()
+	if len(e.colLo) != e.nCols || len(e.rowLo) != e.nRows {
+		return false
+	}
+	if p.NumCols() != e.nCols || p.NumRows() != e.nRows {
+		return false
+	}
+	const eps = 1e-12
+	for i, jNew := range canon.ColOrder {
+		lo, hi := p.Bounds(jNew)
+		jc := e.colOrder[i]
+		if lo < e.colLo[jc]-eps || hi > e.colHi[jc]+eps {
+			return false
+		}
+	}
+	for i, rNew := range canon.RowOrder {
+		lo, hi := p.RowBounds(rNew)
+		rc := e.rowOrder[i]
+		if lo < e.rowLo[rc]-eps || hi > e.rowHi[rc]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// sameObjective reports whether the requesting model's objective
+// coefficients equal the cached entry's at every matching canonical
+// position (bitwise, like the canonical hash).
+func sameObjective(e *entry, canon *model.Canon, m *model.Model) bool {
+	p := m.LP()
+	if len(e.objCoef) != e.nCols || p.NumCols() != e.nCols {
+		return false
+	}
+	for i, jNew := range canon.ColOrder {
+		if p.Obj(jNew) != e.objCoef[e.colOrder[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// mapSolution translates a cached point into the requesting model's
+// coordinates: canonical position i holds cached column
+// e.colOrder[i] and requester column canon.ColOrder[i]. Returns nil on
+// any dimension mismatch (possible only under a hash collision).
+func mapSolution(e *entry, canon *model.Canon, nCols int) []float64 {
+	if e.nCols != nCols || len(e.colOrder) != len(canon.ColOrder) || len(e.x) != nCols {
+		return nil
+	}
+	x := make([]float64, nCols)
+	for i, jNew := range canon.ColOrder {
+		x[jNew] = e.x[e.colOrder[i]]
+	}
+	return x
+}
+
+// identityOrders reports whether the cached and requesting canonical
+// orders induce the identity permutation — the common case of
+// resubmitting a model built the same way.
+func identityOrders(e *entry, canon *model.Canon) bool {
+	for i, j := range canon.ColOrder {
+		if e.colOrder[i] != j {
+			return false
+		}
+	}
+	for i, r := range canon.RowOrder {
+		if e.rowOrder[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// mapBasis translates the cached root basis into the requester's
+// coordinates. Under the identity permutation the snapshot is shared
+// as-is, which preserves the attached LU factorization for adoption
+// (the matrix signature check downstream keeps that safe). Otherwise
+// the state and order arrays are permuted and the factorization is
+// dropped — the warm solve refactorizes from the permuted basis.
+func mapBasis(e *entry, canon *model.Canon) *lp.Basis {
+	n, m := e.nCols, e.nRows
+	if e.basis == nil || len(e.basis.State) != n+m || len(e.basis.Order) != m {
+		return nil
+	}
+	if len(canon.ColOrder) != n || len(canon.RowOrder) != m {
+		return nil
+	}
+	if identityOrders(e, canon) {
+		return e.basis
+	}
+	colOf := make([]int, n) // cached column -> requester column
+	for i, jNew := range canon.ColOrder {
+		colOf[e.colOrder[i]] = jNew
+	}
+	rowOf := make([]int, m)
+	for i, rNew := range canon.RowOrder {
+		rowOf[e.rowOrder[i]] = rNew
+	}
+	b := &lp.Basis{State: make([]int8, n+m), Order: make([]int, m)}
+	for j := 0; j < n; j++ {
+		b.State[colOf[j]] = e.basis.State[j]
+	}
+	for r := 0; r < m; r++ {
+		b.State[n+rowOf[r]] = e.basis.State[n+r]
+	}
+	for r, v := range e.basis.Order {
+		if v < n {
+			v = colOf[v]
+		} else {
+			v = n + rowOf[v-n]
+		}
+		b.Order[rowOf[r]] = v
+	}
+	return b
+}
+
+// mapCuts translates the cached cut pool's column indices.
+func mapCuts(e *entry, canon *model.Canon) []mip.CutRow {
+	colOf := make([]int, e.nCols)
+	for i, jNew := range canon.ColOrder {
+		colOf[e.colOrder[i]] = jNew
+	}
+	out := make([]mip.CutRow, 0, len(e.cuts))
+	for _, c := range e.cuts {
+		nc := mip.CutRow{
+			Cols: make([]int, len(c.Cols)),
+			Vals: append([]float64(nil), c.Vals...),
+			Lo:   c.Lo,
+			Hi:   c.Hi,
+		}
+		ok := true
+		for i, j := range c.Cols {
+			if j < 0 || j >= len(colOf) {
+				ok = false
+				break
+			}
+			nc.Cols[i] = colOf[j]
+		}
+		if ok {
+			out = append(out, nc)
+		}
+	}
+	return out
+}

@@ -35,6 +35,10 @@ type Options struct {
 	// Fallback selects the failure policy when the ILP cannot deliver a
 	// usable allocation (see FallbackMode and DESIGN.md §10).
 	Fallback FallbackMode
+	// Hook, when set, intercepts the ILP solve: it may serve a cached
+	// solution outright, install warm-start material, and observe
+	// verified results for caching (see SolveHook and internal/cache).
+	Hook SolveHook
 }
 
 // DefaultOptions matches the paper's evaluated configuration.

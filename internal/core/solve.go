@@ -72,6 +72,36 @@ func (r *Result) ModelLP() (*lp.Problem, []bool) {
 	return r.model.LP().Clone(), mask
 }
 
+// SolveHook intercepts the allocator's ILP solve. The compile cache
+// (internal/cache) implements it without core importing the cache.
+//
+// BeforeSolve runs after the model and mip options are fully built and
+// may do either of two things: return (x, true) to serve x as the
+// verified optimal solution — the solver is skipped entirely — or
+// mutate opts (Seed, WarmBasis, SeedCuts, Presolve) to warm-start the
+// solve and return (nil, false). AfterSolve observes every solver-
+// produced Optimal result so the hook can retain it.
+type SolveHook interface {
+	BeforeSolve(m *model.Model, opts *mip.Options) (x []float64, served bool)
+	AfterSolve(m *model.Model, res *mip.Result)
+}
+
+// BuildModel runs the front half of Allocate — the liveness/move graph
+// and the §5-§10 ILP construction — and returns the unsolved model.
+// Canonicalization-layer tests and tools use it to obtain the exact
+// model a compile would solve.
+func BuildModel(mp *mir.Program, opts Options) (*model.Model, error) {
+	g, err := buildGraph(mp, opts)
+	if err != nil {
+		return nil, err
+	}
+	il, err := buildModel(g)
+	if err != nil {
+		return nil, err
+	}
+	return il.m, nil
+}
+
 // Allocate runs the complete ILP-based register/bank allocation for a
 // MIR program (after SSU). The mipOpts default to the paper's 0.01%
 // gap and a parallel tree search over all cores (mip.Options.Workers);
@@ -121,9 +151,29 @@ func Allocate(mp *mir.Program, opts Options, mipOpts *mip.Options) (*Result, err
 	var solveErr error
 	usedFallback := false
 	if opts.Fallback != FallbackForce {
-		sp = obs.StartSpan("phase/alloc/solve")
-		res, solveErr = il.m.Solve(mipOpts)
-		sp.End()
+		served := false
+		if opts.Hook != nil {
+			sp = obs.StartSpan("phase/alloc/cache")
+			var x []float64
+			x, served = opts.Hook.BeforeSolve(il.m, mipOpts)
+			sp.End()
+			if served {
+				// The hook only serves solutions it has re-verified
+				// against this model, so the allocation is as trusted as
+				// a fresh solve; the objective is recomputed here rather
+				// than taken from the cache.
+				obj := il.m.Objective(x)
+				res = &mip.Result{Status: mip.Optimal, X: x, Obj: obj, RootObj: obj, RootCutObj: obj}
+			}
+		}
+		if !served {
+			sp = obs.StartSpan("phase/alloc/solve")
+			res, solveErr = il.m.Solve(mipOpts)
+			sp.End()
+			if opts.Hook != nil && solveErr == nil && res != nil && res.Status == mip.Optimal {
+				opts.Hook.AfterSolve(il.m, res)
+			}
+		}
 	}
 	switch {
 	case opts.Fallback == FallbackForce:

@@ -134,6 +134,24 @@ func (cp *cutPool) tight(x []float64, tol float64) []cut {
 	return out
 }
 
+// export snapshots the pool as exchangeable CutRow values; the compile
+// cache stores them so a later solve of the same feasible region can
+// replay the pool through Options.SeedCuts.
+func (cp *cutPool) export() []CutRow {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	out := make([]CutRow, len(cp.cuts))
+	for i := range cp.cuts {
+		out[i] = CutRow{
+			Cols: append([]int(nil), cp.cuts[i].cols...),
+			Vals: append([]float64(nil), cp.cuts[i].vals...),
+			Lo:   cp.cuts[i].lo,
+			Hi:   cp.cuts[i].hi,
+		}
+	}
+	return out
+}
+
 func (cp *cutPool) len() int {
 	cp.mu.RLock()
 	defer cp.mu.RUnlock()

@@ -29,6 +29,17 @@ var (
 	gMIPPoolPeak   = obs.NewGauge("mip/pool_peak")
 )
 
+// Warm-start reuse counters (DESIGN.md §12): the compile cache's
+// near-miss path hands a previous solve's incumbent, basis, and cut
+// pool back in through Options.Seed/WarmBasis/SeedCuts; these record
+// how often the material survived verification and was used.
+var (
+	cMIPSeedUsed    = obs.NewCounter("mip/seed_incumbents")
+	cMIPSeedDrops   = obs.NewCounter("mip/seed_drops")
+	cMIPSeedCuts    = obs.NewCounter("mip/seed_cuts")
+	cMIPBoundProofs = obs.NewCounter("mip/bound_proofs")
+)
+
 // Fault-injection points (internal/fault): worker_panic panics inside
 // a tree-search worker's dive, heuristic_err panics inside the
 // protected heuristic call. Both exercise the recovery paths that
@@ -87,6 +98,44 @@ type Options struct {
 	// found so far (nil X when none exists). Nil means no cancellation
 	// (context.Background()).
 	Ctx context.Context
+
+	// Seed, when non-nil, proposes a starting incumbent in the solved
+	// problem's coordinates — the compile cache's near-miss path seeds
+	// the search with the cached solution of a structurally identical
+	// model. The solver verifies the point against bounds, integrality,
+	// and every row before installing it; a seed that fails
+	// verification is dropped (mip/seed_drops) rather than trusted, so
+	// a stale or corrupt seed can cost time but never correctness.
+	Seed []float64
+
+	// WarmBasis, when non-nil, warm-starts the root relaxation from a
+	// basis snapshot of a structurally identical problem (typically a
+	// cached Result.RootBasis). A snapshot the LP layer cannot load
+	// falls back to the crash basis; node re-solves are unaffected
+	// (they warm-start from their parents as always).
+	WarmBasis *lp.Basis
+
+	// SeedCuts installs previously separated cutting planes into the
+	// pool before the root cut loop. The caller asserts the rows are
+	// valid for every integer point of THIS problem — the cache only
+	// replays a pool across solves whose feasible regions hash
+	// identically (model.Canon.Region), which is what makes the
+	// assertion sound. A seeded pool whose LP turns inconsistent is
+	// discarded wholesale rather than trusted. Ignored when cuts are
+	// disabled (CutRounds < 0).
+	SeedCuts []CutRow
+
+	// LowerBound, when non-nil, is a caller-PROVEN global lower bound
+	// on the optimal objective. The canonical source is the compile
+	// cache: when a request only tightens bounds of a cached model and
+	// keeps its objective, the cached optimum bounds the edited problem
+	// from below (minimizing over a subset cannot do better). If an
+	// incumbent meets the bound within Gap before the tree opens, the
+	// solve finishes Optimal right there (mip/bound_proofs) — the
+	// optimality proof transfers instead of being re-searched. A wrong
+	// bound could only mislabel a solve as proven, never change the
+	// incumbent, and the cache's subset check is what keeps it sound.
+	LowerBound *float64
 
 	// seedX/seedObj install a known-feasible starting incumbent before
 	// the search (used by the local-branching sub-solves, which restrict
@@ -166,6 +215,30 @@ type Result struct {
 	RootCutObj float64
 	// Cuts counts the cutting planes generated (root loop + tree).
 	Cuts int
+
+	// RootBasis is the basis of the plain root relaxation (before any
+	// cuts), in the solved problem's coordinates — the snapshot a
+	// compile cache hands back through Options.WarmBasis on a near
+	// miss. Nil when the root did not finish Optimal, and cleared by
+	// model.Solve when presolve changed coordinates.
+	RootBasis *lp.Basis
+
+	// PoolCuts is the final cut pool (root and tree cuts, after the
+	// binding-cut trim), in the solved problem's coordinates, for
+	// reuse through Options.SeedCuts. model.Solve remaps it back to
+	// model coordinates when presolve ran.
+	PoolCuts []CutRow
+}
+
+// CutRow is an exchangeable cutting plane Lo <= sum Vals·x[Cols] <= Hi.
+// Cuts leave a solve through Result.PoolCuts and re-enter a later one
+// through Options.SeedCuts; validity across solves is the caller's
+// contract (see Options.SeedCuts).
+type CutRow struct {
+	Cols []int
+	Vals []float64
+	Lo   float64
+	Hi   float64
 }
 
 // Solve minimizes p with the integrality constraint applied to the
@@ -207,10 +280,31 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		return res, nil
 	}
 
-	// Root relaxation.
+	// Cache-provided warm-start material (DESIGN.md §12). The seed
+	// incumbent is verified here — never trusted — so a stale cache
+	// entry degrades to a cold search instead of a wrong answer.
+	if o.Seed != nil {
+		if x, obj, ok := checkSeed(p, integer, o.Seed); ok {
+			o.seedX, o.seedObj = x, obj
+			cMIPSeedUsed.Inc()
+		} else {
+			cMIPSeedDrops.Inc()
+		}
+		o.Seed = nil
+	}
+
+	// Root relaxation, warm-started from a cached basis when one was
+	// handed in (the LP layer validates the snapshot and falls back to
+	// the crash basis if it does not fit this problem).
+	rootLP := o.LP
+	if o.WarmBasis != nil {
+		w := *o.LP
+		w.WarmBasis = o.WarmBasis
+		rootLP = &w
+	}
 	rootStart := time.Now()
 	rootSp := obs.StartSpan("mip/root_lp")
-	rootSol, err := p.Solve(o.LP)
+	rootSol, err := p.Solve(rootLP)
 	rootSp.End()
 	res.RootTime = time.Since(rootStart)
 	if err != nil {
@@ -233,6 +327,7 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 	}
 	res.RootObj = rootSol.Obj
 	res.RootCutObj = rootSol.Obj
+	res.RootBasis = rootSol.Basis
 
 	// Root-node cutting-plane loop: separate lifted cover and clique
 	// cuts against the fractional point, append them to a clone of the
@@ -252,6 +347,35 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 			rounds = 10
 		}
 		sol := rootSol
+		// Replay a cached cut pool before separating anything new: the
+		// caller asserted the rows are valid for this feasible region,
+		// so the loop below starts from the tightened relaxation. A
+		// seeded LP that does not re-solve cleanly discards the whole
+		// pool — an Infeasible verdict here could only come from a bad
+		// assertion, and it must never masquerade as a proof.
+		if len(o.SeedCuts) > 0 {
+			seeded := make([]cut, 0, len(o.SeedCuts))
+			for _, sc := range o.SeedCuts {
+				seeded = append(seeded, cut{
+					cols: append([]int(nil), sc.Cols...),
+					vals: append([]float64(nil), sc.Vals...),
+					lo:   sc.Lo, hi: sc.Hi,
+				})
+			}
+			if added := cpool.add(seeded); added > 0 {
+				work = p.Clone()
+				cpool.apply(work, 0)
+				warm, werr := work.Solve(warmOpts(o.LP, sol.Basis))
+				if werr == nil && warm.Status == lp.Optimal {
+					res.LPIters += warm.Iters
+					sol = warm
+					cMIPSeedCuts.Add(int64(added))
+				} else {
+					cpool = newCutPool()
+					work = p
+				}
+			}
+		}
 		stall := 0
 		for round := 0; round < rounds; round++ {
 			if time.Since(start) > o.Time || ctx.Err() != nil {
@@ -393,11 +517,33 @@ func Solve(p *lp.Problem, integer []bool, opts *Options) (*Result, error) {
 		e.offerIncumbent(bestObj, bestX)
 	}
 	heurSp.End()
+	// A caller-proven global lower bound can finish the proof before
+	// the tree opens: when the best incumbent already meets it within
+	// the optimality gap, there is nothing left to search. The cache's
+	// near-miss path lands here whenever a region-tightening edit
+	// leaves the cached optimum feasible.
+	if o.LowerBound != nil {
+		if inc := e.incObj(); !math.IsInf(inc, 1) && inc-*o.LowerBound <= e.gapAbs(inc) {
+			e.mu.Lock()
+			res.Obj, res.X = inc, e.incX
+			e.mu.Unlock()
+			res.Status = Optimal
+			if cpool != nil {
+				res.Cuts = cpool.len()
+				res.PoolCuts = cpool.export()
+			}
+			res.Time = time.Since(start)
+			cMIPSolves.Inc()
+			cMIPBoundProofs.Inc()
+			return res, nil
+		}
+	}
 	searchSp := obs.StartSpan("mip/search")
 	e.run(rootSol, res)
 	searchSp.End()
 	if cpool != nil {
 		res.Cuts = cpool.len()
+		res.PoolCuts = cpool.export()
 	}
 	res.Time = time.Since(start)
 	cMIPSolves.Inc()
@@ -489,6 +635,37 @@ func callHeuristic(h func(x []float64) ([]float64, bool), x []float64) (cand []f
 		panic("fault: injected heuristic error")
 	}
 	return h(x)
+}
+
+// checkSeed verifies a caller-proposed incumbent: integral where
+// required, inside bounds, and feasible for every row. It returns a
+// defensive copy with the integer components snapped exactly onto the
+// lattice, plus the objective value.
+func checkSeed(p *lp.Problem, integer []bool, seed []float64) ([]float64, float64, bool) {
+	if len(seed) != p.NumCols() {
+		return nil, 0, false
+	}
+	x := append([]float64(nil), seed...)
+	for j := range x {
+		if !integer[j] {
+			continue
+		}
+		r := math.Round(x[j])
+		if math.Abs(x[j]-r) > 1e-6 {
+			return nil, 0, false
+		}
+		x[j] = r
+	}
+	for j := range x {
+		lo, hi := p.Bounds(j)
+		if x[j] < lo-1e-9 || x[j] > hi+1e-9 {
+			return nil, 0, false
+		}
+	}
+	if !Feasible(p, x, 1e-6) {
+		return nil, 0, false
+	}
+	return x, objOf(p, x), true
 }
 
 // objOf evaluates p's objective at x.

@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPacking constructs a small set-packing-flavored ILP. The perm
+// slice reorders variable creation, names renames the families, so two
+// calls can build the same mathematical model with different
+// identifiers and declaration order.
+func buildPacking(names [2]string, perm []int) *Model {
+	m := New()
+	n := len(perm)
+	cols := make([]int, n)
+	for _, j := range perm {
+		fam := names[0]
+		if j%2 == 1 {
+			fam = names[1]
+		}
+		cols[j] = m.Binary(fam, j)
+		m.ObjAdd(cols[j], float64(3+j%5))
+	}
+	for r := 0; r < n-2; r++ {
+		e := NewExpr().Add(1, cols[r]).Add(1, cols[r+1]).Add(1, cols[r+2])
+		m.Le("pack", e, 2)
+	}
+	e := NewExpr()
+	for _, c := range cols {
+		e.Add(1, c)
+	}
+	m.Ge("cover", e, 2)
+	return m
+}
+
+func ident(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestCanonSameModelTwice(t *testing.T) {
+	a := buildPacking([2]string{"x", "y"}, ident(9)).Canonicalize()
+	b := buildPacking([2]string{"x", "y"}, ident(9)).Canonicalize()
+	if a.Structural != b.Structural || a.Region != b.Region || a.Exact != b.Exact {
+		t.Fatalf("same model hashed differently:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCanonRenameAndReorderInvariant(t *testing.T) {
+	a := buildPacking([2]string{"x", "y"}, ident(9)).Canonicalize()
+	perm := ident(9)
+	rand.New(rand.NewSource(3)).Shuffle(len(perm), func(i, j int) {
+		perm[i], perm[j] = perm[j], perm[i]
+	})
+	b := buildPacking([2]string{"alpha", "beta"}, perm).Canonicalize()
+	if a.Structural != b.Structural {
+		t.Fatalf("structural hash changed under rename+reorder: %s vs %s", a.Structural, b.Structural)
+	}
+	if a.Region != b.Region {
+		t.Fatalf("region hash changed under rename+reorder: %s vs %s", a.Region, b.Region)
+	}
+	if a.Exact != b.Exact {
+		t.Fatalf("exact hash changed under rename+reorder: %s vs %s", a.Exact, b.Exact)
+	}
+}
+
+func TestCanonBoundEditChangesOnlyRegion(t *testing.T) {
+	m := buildPacking([2]string{"x", "y"}, ident(9))
+	a := m.Canonicalize()
+	m.LP().SetBounds(4, 0, 0) // fix one variable
+	b := m.Canonicalize()
+	if a.Structural != b.Structural {
+		t.Fatalf("bound edit changed the structural hash: %s vs %s", a.Structural, b.Structural)
+	}
+	if a.Region == b.Region {
+		t.Fatalf("bound edit left the region hash unchanged: %s", a.Region)
+	}
+	if a.Exact == b.Exact {
+		t.Fatalf("bound edit left the exact hash unchanged: %s", a.Exact)
+	}
+}
+
+func TestCanonObjectiveEditChangesOnlyExact(t *testing.T) {
+	m := buildPacking([2]string{"x", "y"}, ident(9))
+	a := m.Canonicalize()
+	m.ObjAdd(2, 7.5)
+	b := m.Canonicalize()
+	if a.Structural != b.Structural || a.Region != b.Region {
+		t.Fatalf("objective edit changed structural/region hashes")
+	}
+	if a.Exact == b.Exact {
+		t.Fatalf("objective edit left the exact hash unchanged: %s", a.Exact)
+	}
+}
+
+func TestCanonOrdersTranslateSolutions(t *testing.T) {
+	// The canonical orders of two isomorphic models must map a feasible
+	// point of one onto a feasible point of the other.
+	a := buildPacking([2]string{"x", "y"}, ident(9))
+	perm := ident(9)
+	rand.New(rand.NewSource(11)).Shuffle(len(perm), func(i, j int) {
+		perm[i], perm[j] = perm[j], perm[i]
+	})
+	b := buildPacking([2]string{"p", "q"}, perm)
+	ca, cb := a.Canonicalize(), b.Canonicalize()
+	if ca.Exact != cb.Exact {
+		t.Fatalf("isomorphic models hash differently")
+	}
+	ra, err := a.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, len(ra.X))
+	for i := range cb.ColOrder {
+		x[cb.ColOrder[i]] = ra.X[ca.ColOrder[i]]
+	}
+	if err := b.CheckFeasible(x, 1e-6); err != nil {
+		t.Fatalf("translated optimum infeasible in isomorphic model: %v", err)
+	}
+	if got, want := b.Objective(x), a.Objective(ra.X); got != want {
+		t.Fatalf("translated objective %g, want %g", got, want)
+	}
+}
+
+func TestCheckFeasibleRejects(t *testing.T) {
+	m := buildPacking([2]string{"x", "y"}, ident(9))
+	res, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+		t.Fatalf("optimal point rejected: %v", err)
+	}
+	bad := append([]float64(nil), res.X...)
+	bad[0] += 0.5 // fractional
+	if err := m.CheckFeasible(bad, 1e-6); err == nil {
+		t.Fatal("fractional integer column accepted")
+	}
+	bad[0] = 3 // integral but out of bounds
+	if err := m.CheckFeasible(bad, 1e-6); err == nil {
+		t.Fatal("out-of-bounds value accepted")
+	}
+	if err := m.CheckFeasible(res.X[:4], 1e-6); err == nil {
+		t.Fatal("short point accepted")
+	}
+	ones := make([]float64, len(res.X))
+	for i := range ones {
+		ones[i] = 1 // violates every pack row
+	}
+	if err := m.CheckFeasible(ones, 1e-6); err == nil {
+		t.Fatal("row-violating point accepted")
+	}
+}

@@ -1,0 +1,316 @@
+// Package server is the HTTP front end of novad, the compile-as-a-
+// service daemon: compile requests in JSON, allocated assembly out,
+// with the three-tier compile cache (internal/cache) in front of the
+// solver and the PR 3 observability endpoints mounted alongside.
+//
+// Endpoints:
+//
+//	POST   /compile         compile Nova source (sync, or async with "async": true)
+//	GET    /jobs/{id}       poll an async job; returns the result when done
+//	DELETE /jobs/{id}       cancel an async job
+//	POST   /solve           solve a raw ILP (cols/rows JSON) through the same cache
+//	GET    /healthz         liveness probe
+//	GET    /debug/counters  obs counter dump (text)
+//	GET    /debug/pprof/    net/http/pprof profiles
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/mip"
+	"repro/internal/nova"
+	"repro/internal/obs"
+)
+
+var (
+	cRequests  = obs.NewCounter("server/requests")
+	cCancelled = obs.NewCounter("server/cancelled")
+	cErrors    = obs.NewCounter("server/errors")
+	cQueueFull = obs.NewCounter("server/queue_full")
+	gInflight  = obs.NewGauge("server/inflight")
+)
+
+// Config configures a Server. Zero values select the defaults.
+type Config struct {
+	Cache        *cache.Cache  // compile cache; nil allocates a default one
+	Workers      int           // max concurrent solves, sync + async combined (default 2)
+	QueueDepth   int           // async job queue capacity (default 64)
+	SolveTimeout time.Duration // per-request solve deadline; 0 = none
+	MIP          *mip.Options  // base solver options, copied per request
+}
+
+// Server carries the daemon state behind the HTTP handler.
+type Server struct {
+	cfg      Config
+	cache    *cache.Cache
+	mux      *http.ServeMux
+	sem      chan struct{} // bounds concurrent solves
+	inflight atomic.Int64
+
+	jobs  *jobTable
+	queue chan *job
+	stop  chan struct{}
+}
+
+// New builds a Server and starts its async workers. Call Close to
+// stop them.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = cache.New(cache.Config{})
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.Workers),
+		jobs:  newJobTable(),
+		queue: make(chan *job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /debug/counters", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap := obs.TakeSnapshot()
+		for _, name := range snap.Names() {
+			fmt.Fprintf(w, "%s %d\n", name, snap[name])
+		}
+	})
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.jobWorker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler to serve.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the async workers. In-flight jobs are cancelled.
+func (s *Server) Close() {
+	close(s.stop)
+	s.jobs.cancelAll()
+}
+
+// CompileRequest is the /compile request body.
+type CompileRequest struct {
+	Name    string `json:"name"`    // diagnostic name, e.g. "nat.nova"
+	Source  string `json:"source"`  // Nova source text
+	Entry   string `json:"entry"`   // entry function; default "main"
+	Workers int    `json:"workers"` // ILP tree-search workers; 0 = all cores
+	// Async enqueues the compile and returns a job id immediately
+	// (poll GET /jobs/{id}).
+	Async bool `json:"async"`
+	// NoSourceCache skips the source-level output tier so the request
+	// exercises the canonicalized model cache (benchmarks, tests).
+	NoSourceCache bool `json:"nosrc"`
+}
+
+// CompileResponse is the /compile (and finished job) response body.
+type CompileResponse struct {
+	Name string `json:"name"`
+	Asm  string `json:"asm"`
+	// Outcome reports which cache tier served the request:
+	// "source_hit", "hit", "near_miss", or "miss".
+	Outcome    string  `json:"outcome"`
+	Structural string  `json:"structural,omitempty"`
+	Exact      string  `json:"exact,omitempty"`
+	Obj        float64 `json:"obj"` // total weighted move cost
+	Moves      int     `json:"moves"`
+	Spills     int     `json:"spills"`
+	Remats     int     `json:"remats"`
+	Nodes      int     `json:"nodes"`
+	LPIters    int     `json:"lp_iters"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	cErrors.Inc()
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// sourceKey is the output-tier cache key: everything that determines
+// the compiled artifact at the source level.
+func sourceKey(req *CompileRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src\x00%s\x00%d\x00", req.Entry, req.Workers)
+	h.Write([]byte(req.Source))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// acquire takes a solver slot, or fails when the client gives up
+// first. It also maintains the server/inflight gauge.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		gInflight.Set(s.inflight.Add(1))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	gInflight.Set(s.inflight.Add(-1))
+	<-s.sem
+}
+
+// mipOptions builds the per-request solver options: a copy of the
+// configured base with the request context wired into Options.Ctx so a
+// disconnected client cancels its branch and bound.
+func (s *Server) mipOptions(ctx context.Context) (*mip.Options, context.CancelFunc) {
+	o := mip.Options{}
+	if s.cfg.MIP != nil {
+		o = *s.cfg.MIP
+	}
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.SolveTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+	}
+	o.Ctx = ctx
+	return &o, cancel
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	cRequests.Inc()
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "empty source")
+		return
+	}
+	if req.Name == "" {
+		req.Name = "request.nova"
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	if req.Async {
+		j := s.jobs.add(&req)
+		select {
+		case s.queue <- j:
+			writeJSON(w, http.StatusAccepted, jobStatus(j))
+		default:
+			cQueueFull.Inc()
+			s.jobs.remove(j.id)
+			writeError(w, http.StatusTooManyRequests, "job queue full (%d deep)", cap(s.queue))
+		}
+		return
+	}
+	resp, code, err := s.compile(r.Context(), &req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			cCancelled.Inc()
+			return // client is gone; nothing useful to write
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compile runs one request through the tiers: output cache, then the
+// model cache (via the core solve hook), then a cold compile. The
+// returned int is the HTTP status for the error case.
+func (s *Server) compile(ctx context.Context, req *CompileRequest) (*CompileResponse, int, error) {
+	sp := obs.StartSpan("server/compile")
+	defer sp.End()
+	start := time.Now()
+
+	key := sourceKey(req)
+	if !req.NoSourceCache {
+		if data, ok := s.cache.GetOutput(key); ok {
+			var resp CompileResponse
+			if json.Unmarshal(data, &resp) == nil {
+				resp.Outcome = "source_hit"
+				resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+				return &resp, 0, nil
+			}
+			// An undecodable blob is dropped by overwrite below.
+		}
+	}
+
+	if err := s.acquire(ctx); err != nil {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("cancelled while queued: %w", err)
+	}
+	defer s.release()
+
+	hook := &cache.Hook{C: s.cache}
+	mipOpts, cancel := s.mipOptions(ctx)
+	defer cancel()
+	opts := nova.DefaultOptions()
+	opts.Entry = req.Entry
+	opts.Workers = req.Workers
+	opts.MIP = mipOpts
+	opts.Alloc.Hook = hook
+
+	comp, err := nova.Compile(req.Name, req.Source, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, http.StatusServiceUnavailable, fmt.Errorf("solve cancelled: %w", ctx.Err())
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := &CompileResponse{
+		Name:       req.Name,
+		Asm:        comp.Asm.String(),
+		Outcome:    hook.Outcome.String(),
+		Structural: hook.Structural,
+		Exact:      hook.Exact,
+		Obj:        comp.Alloc.MIP.Obj + comp.Alloc.ObjConst,
+		Moves:      comp.Alloc.NumMoves(),
+		Spills:     comp.Alloc.Spills,
+		Remats:     comp.Alloc.Remats,
+		Nodes:      comp.Alloc.MIP.Nodes,
+		LPIters:    comp.Alloc.MIP.LPIters,
+	}
+	// A fallback allocation is correct but unproven; never let it
+	// masquerade as a cached optimum.
+	if !comp.Alloc.Fallback {
+		if data, err := json.Marshal(resp); err == nil {
+			s.cache.PutOutput(key, data)
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, 0, nil
+}

@@ -1,0 +1,136 @@
+// Daemonsmoke is the CI smoke test for novad: it builds and starts
+// the daemon on an ephemeral port, compiles the NAT workload over
+// HTTP twice, and checks that the replay is served from the compile
+// cache with assembly byte-identical to what an in-process novac
+// compile produces. Exit status 0 means the serving path works end to
+// end.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/nova"
+	"repro/internal/workloads"
+)
+
+type compileResponse struct {
+	Asm     string `json:"asm"`
+	Outcome string `json:"outcome"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "daemonsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("daemonsmoke: ok")
+}
+
+func run() error {
+	// Reference: the exact artifact novac would print for nat.nova.
+	opts := nova.DefaultOptions()
+	opts.Workers = 1
+	opts.MIP = &mip.Options{Time: 4 * time.Minute}
+	comp, err := nova.Compile("nat.nova", workloads.NATSource, opts)
+	if err != nil {
+		return fmt.Errorf("reference compile: %w", err)
+	}
+	want := comp.Asm.String()
+
+	dir, err := os.MkdirTemp("", "daemonsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "novad")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/novad")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build novad: %w", err)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-j", "1")
+	daemon.Stderr = os.Stderr
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start novad: %w", err)
+	}
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		daemon.Wait()
+	}()
+
+	// The daemon prints "novad: listening on <addr>" once bound.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "novad: listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("daemon never reported its address")
+	}
+	url := "http://" + addr + "/compile"
+
+	post := func() (*compileResponse, error) {
+		body, _ := json.Marshal(map[string]any{
+			"name":    "nat.nova",
+			"source":  workloads.NATSource,
+			"workers": 1,
+		})
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, buf.String())
+		}
+		var cr compileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			return nil, err
+		}
+		return &cr, nil
+	}
+
+	cold, err := post()
+	if err != nil {
+		return fmt.Errorf("cold compile: %w", err)
+	}
+	if cold.Outcome != "miss" {
+		return fmt.Errorf("cold outcome %q, want miss", cold.Outcome)
+	}
+	if cold.Asm != want {
+		return fmt.Errorf("daemon asm differs from novac output (%d vs %d bytes)", len(cold.Asm), len(want))
+	}
+	hit, err := post()
+	if err != nil {
+		return fmt.Errorf("replay compile: %w", err)
+	}
+	if hit.Outcome != "source_hit" && hit.Outcome != "hit" {
+		return fmt.Errorf("replay outcome %q, want a cache hit", hit.Outcome)
+	}
+	if hit.Asm != want {
+		return fmt.Errorf("cached asm differs from novac output (%d vs %d bytes)", len(hit.Asm), len(want))
+	}
+	return nil
+}
