@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/ixp"
+	"repro/internal/mip"
+	"repro/internal/pktgen"
+)
+
+// Fleet-mode flags (DESIGN.md §13). -fleet N switches ixpsim from the
+// single-engine run to the multi-chip harness; -soak raises the run to
+// the sustained fault-injection profile.
+var (
+	fleetN    = flag.Int("fleet", 0, "simulate a fleet of N chips (0 = classic single-engine run)")
+	packets   = flag.Int64("packets", 100_000, "fleet mode: packets to generate")
+	flows     = flag.Int("flows", 256, "fleet mode: distinct flows in the generated stream")
+	seed      = flag.Int64("seed", 1, "fleet mode: packet generator seed")
+	engines   = flag.Int("engines", ixp.NumEngines, "fleet mode: engines per chip")
+	faultSpec = flag.String("fault", "", "fleet mode: fault plan, e.g. fleet/chip_wedge@200,fleet/fifo_drop~1e-5,seed=7")
+	soak      = flag.Bool("soak", false, "fleet soak: >=2M packets on >=4 chips under the default chip-fault plan")
+)
+
+// soakFaults is the default -soak injection plan: one chip wedges
+// early, SRAM stalls slow random batches, and the RX handoff loses the
+// occasional packet — the profile the acceptance soak runs under.
+const soakFaults = "fleet/chip_wedge@2000,fleet/sram_stall~0.001=200,fleet/fifo_drop~0.00002,seed=7"
+
+// runFleet is ixpsim's -fleet entry point: compile the workload, shard
+// a generated stream across N concurrently simulated chips, and report
+// per-chip and aggregate accounting. It returns the process exit code.
+func runFleet(name string, payload, threads int) int {
+	chips := *fleetN
+	total := *packets
+	plan := *faultSpec
+	if *soak {
+		if chips < 4 {
+			chips = 4
+		}
+		if total < 2_000_000 {
+			total = 2_000_000
+		}
+		if plan == "" {
+			plan = soakFaults
+		}
+	}
+	if chips < 1 {
+		chips = 1
+	}
+	if plan != "" {
+		p, err := fault.Parse(plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fault.Install(p)
+		defer fault.Reset()
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+
+	fmt.Printf("compiling %s.nova ...\n", name)
+	start := time.Now()
+	w, err := fleet.Compile(name, &mip.Options{Time: 4 * time.Minute})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("compiled in %v\n", time.Since(start).Round(time.Millisecond))
+
+	opts := fleet.Options{Chips: chips, Engines: *engines, Threads: threads}
+	gen := pktgen.NewFlowGen(w.Kind, *seed, *flows, payload)
+	fmt.Printf("fleet: %d chips x %d engines x %d threads, %d packets over %d flows (%d B payload)\n",
+		chips, *engines, threads, total, *flows, payload)
+
+	res, err := fleet.Run(w, gen.Take(total), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("\n%-6s %10s %8s %14s %7s %9s %s\n",
+		"chip", "packets", "batches", "cycles", "drops", "requeued", "state")
+	for i := range res.Chips {
+		c := &res.Chips[i]
+		state := "ok"
+		if c.Wedged {
+			state = "WEDGED"
+			if c.WedgeErr != nil {
+				state = fmt.Sprintf("WEDGED (%v)", c.WedgeErr)
+			}
+		}
+		fmt.Printf("%-6d %10d %8d %14d %7d %9d %s\n",
+			c.Chip, c.Packets, c.Batches, c.Stats.Cycles, c.Dropped, c.Requeued, state)
+	}
+
+	fmt.Printf("\nstatus: %s\n", res.Status)
+	fmt.Printf("  generated %d = delivered %d + dropped %d (unroutable %d); requeued %d, wedges %d\n",
+		res.Generated, res.Delivered, res.Dropped, res.Unroutable, res.Requeued, res.Wedges)
+	if err := res.Reconcile(); err != nil {
+		fmt.Fprintf(os.Stderr, "RECONCILE FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Printf("  reconciled: aggregate stats == per-chip sums, no packet unaccounted\n")
+
+	// Simulated time is the slowest chip (the chips run concurrently in
+	// simulation time); wall time is this process on the host.
+	cfg := opts.Normalize().MachineConfig()
+	hz := cfg.ClockMHz * 1e6
+	var maxCycles int64
+	for i := range res.Chips {
+		if c := res.Chips[i].Stats.Cycles; c > maxCycles {
+			maxCycles = c
+		}
+	}
+	if res.Delivered > 0 && maxCycles > 0 {
+		simSecs := float64(maxCycles) / hz
+		fmt.Printf("  %.0f cycles/packet aggregate; simulated %.2f Mpps (%.0f Mb/s payload) at %.0f MHz\n",
+			float64(res.Agg.Cycles)/float64(res.Delivered),
+			float64(res.Delivered)/simSecs/1e6,
+			float64(res.Delivered)*float64(payload)*8/simSecs/1e6,
+			cfg.ClockMHz)
+	}
+	fmt.Printf("  wall: %v (%.0f packets/s host throughput)\n",
+		res.Elapsed.Round(time.Millisecond),
+		float64(res.Delivered)/res.Elapsed.Seconds())
+	return 0
+}

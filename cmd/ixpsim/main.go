@@ -5,6 +5,11 @@
 // Usage:
 //
 //	ixpsim [-workload aes|kasumi|nat] [-payload 64] [-threads 4]
+//	ixpsim -fleet N [-packets 100000] [-flows 256] [-fault PLAN] [-soak]
+//
+// With -fleet N (or -soak) ixpsim runs the multi-chip fleet harness
+// instead: N concurrently simulated chips served by a flow-sharding
+// dispatcher, with optional fault injection (DESIGN.md §13).
 package main
 
 import (
@@ -25,6 +30,10 @@ func main() {
 	payload := flag.Int("payload", 64, "payload bytes per packet")
 	threads := flag.Int("threads", 4, "hardware threads")
 	flag.Parse()
+
+	if *fleetN > 0 || *soak {
+		os.Exit(runFleet(*name, *payload, *threads))
+	}
 
 	var src string
 	switch *name {

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/ixp"
+	"repro/internal/pktgen"
+)
+
+// The -fleet mode: sweep the fleet harness (DESIGN.md §13) over chip
+// counts for the three paper workloads and, with -json, write the
+// record BENCH_fleet.json holds. Each workload also gets a solo-chip
+// baseline — the same batches run in a bare loop with no dispatcher,
+// rings, or goroutines — so the harness's per-packet overhead at N=1
+// is measured, not assumed.
+
+type fleetRecord struct {
+	Benchmark string     `json:"benchmark"`
+	Package   string     `json:"package"`
+	Date      string     `json:"date"`
+	Host      benchHost  `json:"host"`
+	Workload  string     `json:"workload"`
+	Note      string     `json:"note"`
+	Results   []fleetRow `json:"results"`
+}
+
+type fleetRow struct {
+	Workload        string  `json:"workload"`
+	Chips           int     `json:"chips"`
+	Packets         int64   `json:"packets"`
+	CyclesPerPacket float64 `json:"cycles_per_packet"`
+	// SimMpps is delivered packets over the slowest chip's simulated
+	// time: the chips are independent 233 MHz clock domains, so fleet
+	// throughput in simulation time is bounded by the busiest chip.
+	SimMpps   float64 `json:"sim_mpps"`
+	HostPps   float64 `json:"host_pps"`
+	WallMs    int64   `json:"wall_ms"`
+	Status    string  `json:"status"`
+	Delivered int64   `json:"delivered"`
+	// The solo-chip baseline fields appear on the chips=1 row only:
+	// the same stream through a bare batch loop, and the fleet
+	// harness's per-packet simulated-cycle overhead against it.
+	SoloCyclesPerPacket float64 `json:"solo_cycles_per_packet,omitempty"`
+	FleetOverheadPct    float64 `json:"fleet_overhead_pct,omitempty"`
+}
+
+// Sweep shape: enough packets that every chip runs many full batches
+// at N=8, few enough that the whole three-workload sweep stays in CLI
+// territory.
+const (
+	fleetPackets int64 = 4800
+	fleetFlows         = 256
+	fleetPayload       = 64
+	fleetSeed          = 1
+)
+
+var fleetChipCounts = []int{1, 2, 4, 8}
+
+func fleetStream(kind pktgen.Kind) fleet.Source {
+	return pktgen.NewFlowGen(kind, fleetSeed, fleetFlows, fleetPayload).Take(fleetPackets)
+}
+
+// soloChipRun replays the stream through one chip with no harness at
+// all: the same engine-major batching, staging, and digesting the
+// fleet worker does, minus dispatcher, rings, and goroutines. Its
+// cycles/packet is the floor the fleet's N=1 number is judged against.
+func soloChipRun(w *fleet.Workload, src fleet.Source, o fleet.Options) (cycles, n int64, wall time.Duration, err error) {
+	o = o.Normalize()
+	chip := ixp.NewChip(o.MachineConfig(), o.Engines)
+	chip.SetID(0)
+	if w.Init != nil {
+		w.Init(chip)
+	}
+	slots := o.Engines * o.Threads
+	batch := make([]*pktgen.Packet, 0, slots)
+	var sink uint64
+	start := time.Now()
+	run := func() error {
+		chip.Load(w.Prog)
+		for i, p := range batch {
+			args := w.Stage(chip, i, p)
+			if err := chip.Engines[i/o.Threads].SetArgs(i%o.Threads, w.EntryRegs, args); err != nil {
+				return err
+			}
+		}
+		st, err := chip.Run(o.BatchBudget)
+		if err != nil {
+			return err
+		}
+		cycles += st.Cycles
+		for i, p := range batch {
+			sink += w.Collect(chip, i, p, st.Results[i])
+		}
+		n += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for p := src(); p != nil; p = src() {
+		batch = append(batch, p)
+		if len(batch) == slots {
+			if err := run(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	if len(batch) > 0 {
+		if err := run(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	_ = sink
+	return cycles, n, time.Since(start), nil
+}
+
+// runFleetBench sweeps chip counts for every workload, prints the
+// table, and writes the BENCH_fleet.json record when path != "".
+func runFleetBench(path string) error {
+	rec := fleetRecord{
+		Benchmark: "FleetSweep",
+		Package:   "repro/internal/fleet",
+		Date:      time.Now().Format("2006-01-02"),
+		Host: benchHost{
+			CPU:           cpuModel(),
+			PhysicalCores: runtime.NumCPU(),
+			OS:            runtime.GOOS,
+			Go:            runtime.Version(),
+		},
+		Workload: fmt.Sprintf("fleet.Run over N in {1,2,4,8} chips x %d engines x 4 threads; %d packets, %d flows, %d B payload, seed %d; no faults",
+			ixp.NumEngines, fleetPackets, fleetFlows, fleetPayload, fleetSeed),
+		Note: "sim_mpps is delivered/(slowest chip's simulated seconds): each chip is an " +
+			"independent 233 MHz clock domain, so simulated throughput scales with N as " +
+			"long as the sharding stays balanced. host_pps is wall-clock: on this host " +
+			"the knee is at N=1 — every chip goroutine shares the same core(s), so adding " +
+			"chips divides host throughput instead of multiplying it. fleet_overhead_pct " +
+			"compares the N=1 fleet's cycles/packet against a bare solo-chip batch loop " +
+			"over the identical stream (acceptance bound: <=10%).",
+	}
+	cfg := fleet.Options{}.Normalize().MachineConfig()
+	hz := cfg.ClockMHz * 1e6
+	fmt.Printf("Fleet sweep — %d packets, %d flows, %d B payload (simulated %0.f MHz chips)\n",
+		fleetPackets, fleetFlows, fleetPayload, cfg.ClockMHz)
+	fmt.Printf("%-8s %5s %14s %9s %10s %8s %s\n",
+		"", "chips", "cycles/packet", "sim Mpps", "host pps", "wall ms", "status")
+	for _, name := range []string{"aes", "kasumi", "nat"} {
+		w, err := fleet.Compile(name, mipOptions())
+		if err != nil {
+			return err
+		}
+		soloCycles, soloN, _, err := soloChipRun(w, fleetStream(w.Kind), fleet.Options{Chips: 1})
+		if err != nil {
+			return fmt.Errorf("%s solo baseline: %w", name, err)
+		}
+		soloCPP := float64(soloCycles) / float64(soloN)
+		for _, chips := range fleetChipCounts {
+			res, err := fleet.Run(w, fleetStream(w.Kind), fleet.Options{Chips: chips})
+			if err != nil {
+				return fmt.Errorf("%s N=%d: %w", name, chips, err)
+			}
+			if err := res.Reconcile(); err != nil {
+				return fmt.Errorf("%s N=%d: %w", name, chips, err)
+			}
+			var maxCycles int64
+			for i := range res.Chips {
+				if c := res.Chips[i].Stats.Cycles; c > maxCycles {
+					maxCycles = c
+				}
+			}
+			row := fleetRow{
+				Workload:        w.Name,
+				Chips:           chips,
+				Packets:         res.Generated,
+				Delivered:       res.Delivered,
+				CyclesPerPacket: round2(float64(res.Agg.Cycles) / float64(res.Delivered)),
+				SimMpps:         round4(float64(res.Delivered) / (float64(maxCycles) / hz) / 1e6),
+				HostPps:         round2(float64(res.Delivered) / res.Elapsed.Seconds()),
+				WallMs:          res.Elapsed.Milliseconds(),
+				Status:          res.Status.String(),
+			}
+			if chips == 1 {
+				row.SoloCyclesPerPacket = round2(soloCPP)
+				row.FleetOverheadPct = round2((float64(res.Agg.Cycles)/float64(res.Delivered)/soloCPP - 1) * 100)
+			}
+			rec.Results = append(rec.Results, row)
+			fmt.Printf("%-8s %5d %14.1f %9.4f %10.0f %8d %s\n",
+				w.Name, chips, row.CyclesPerPacket, row.SimMpps, row.HostPps, row.WallMs, row.Status)
+			if chips == 1 {
+				fmt.Printf("%-8s %5s %14.1f %9s %10s %8s solo baseline (fleet overhead %+.2f%%)\n",
+					"", "solo", row.SoloCyclesPerPacket, "", "", "", row.FleetOverheadPct)
+			}
+		}
+	}
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

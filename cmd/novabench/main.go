@@ -9,6 +9,7 @@
 //	novabench [-table fig5|fig6|fig7|throughput|all] [-cuts=false]
 //	          [-presolve=false] [-dual=false] [-devex=false]
 //	          [-json BENCH_mip.json] [-pprof :6060]
+//	novabench -fleet [-json BENCH_fleet.json]
 //
 // With -json, novabench instead runs the MIP scaling workload (the
 // same instance as BenchmarkMIPScaling) across worker counts and
@@ -18,6 +19,12 @@
 // With -pprof, an HTTP server on the given address serves
 // net/http/pprof profiles at /debug/pprof/ and the obs counter values
 // at /debug/counters while the benchmarks run (DESIGN.md §8).
+//
+// With -fleet, novabench sweeps the multi-chip fleet harness
+// (internal/fleet, DESIGN.md §13) over chip counts N in {1,2,4,8} for
+// the three paper workloads, including a solo-chip baseline to measure
+// the harness's per-packet overhead; -json writes the record
+// BENCH_fleet.json holds.
 //
 // With -server host:port, novabench instead replays the three paper
 // workloads and the MultiKnapsack solver benchmark against a live
@@ -109,7 +116,15 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/counters on this address while running")
 	serverAddr := flag.String("server", "", "benchmark a live novad at this address (host:port) instead of compiling locally; with -json, writes BENCH_server.json-style output there")
 	rounds := flag.Int("rounds", 20, "replays per cache tier in -server mode")
+	fleetMode := flag.Bool("fleet", false, "sweep the multi-chip fleet harness over N chips; with -json, writes BENCH_fleet.json-style output there")
 	flag.Parse()
+	if *fleetMode {
+		if err := runFleetBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serverAddr != "" {
 		if err := runServerBench(*serverAddr, *rounds, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)

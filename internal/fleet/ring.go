@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is a bounded single-producer single-consumer lock-free queue —
+// the RX/TX handoff between the dispatcher and a chip worker (and
+// between a worker and the aggregator). It is the classic Lamport
+// ring: head and tail are monotonically increasing slot indices, the
+// producer owns tail, the consumer owns head, and the element array is
+// published through the release/acquire ordering of the atomic index
+// stores, so neither side ever takes a lock.
+type ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	// The pads keep the two ends on separate cache lines so the
+	// producer and consumer cores do not false-share.
+	_      [56]byte
+	head   atomic.Uint64 // next slot to pop; owned by the consumer
+	_      [56]byte
+	tail   atomic.Uint64 // next slot to push; owned by the producer
+	closed atomic.Bool
+}
+
+// newRing builds a ring holding at least capacity elements (rounded up
+// to a power of two).
+func newRing[T any](capacity int) *ring[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// tryPush appends v, reporting false when the ring is full.
+func (r *ring[T]) tryPush(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes the element
+	return true
+}
+
+// push spins until v is accepted or giveUp (may be nil) returns true;
+// it reports whether v was pushed.
+func (r *ring[T]) push(v T, giveUp func() bool) bool {
+	for !r.tryPush(v) {
+		if giveUp != nil && giveUp() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// tryPop removes the oldest element. ok is false when the ring is
+// momentarily empty; closed additionally reports that the producer has
+// closed the ring and nothing more can arrive (terminal only because
+// close happens after the producer's final push).
+func (r *ring[T]) tryPop() (v T, ok, closed bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		if r.closed.Load() && h == r.tail.Load() {
+			return v, false, true
+		}
+		return v, false, false
+	}
+	v = r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true, false
+}
+
+// close marks the producer side finished. The consumer drains whatever
+// remains and then observes closed.
+func (r *ring[T]) close() { r.closed.Store(true) }
+
+// size returns how many elements are queued right now.
+func (r *ring[T]) size() int { return int(r.tail.Load() - r.head.Load()) }

@@ -15,6 +15,11 @@ import (
 type Chip struct {
 	Cfg     Config
 	Engines []*Machine
+
+	// ID names the chip in attributed errors and fleet telemetry
+	// (fleet/chipN/*). NewChip sets 0; SetID renames chip and engines
+	// together.
+	ID int
 }
 
 // NumEngines on a real IXP1200.
@@ -36,7 +41,31 @@ func NewChip(cfg Config, n int) *Chip {
 		e.hashUnit = first.hashUnit
 		c.Engines = append(c.Engines, e)
 	}
+	c.SetID(0)
 	return c
+}
+
+// SetID renames the chip and stamps the chip/engine identity onto its
+// engines, so every error out of Run is attributable (fleet harness
+// chips are numbered 0..N-1).
+func (c *Chip) SetID(id int) {
+	c.ID = id
+	for i, e := range c.Engines {
+		e.ChipID = id
+		e.EngineID = i
+	}
+}
+
+// attr wraps err with chip/engine attribution (engine -1 for failures
+// not tied to one engine), leaving already-attributed errors alone.
+func (c *Chip) attr(engine int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*RunError); ok {
+		return err
+	}
+	return &RunError{Chip: c.ID, Engine: engine, Err: err}
 }
 
 // SRAM returns the shared SRAM image.
@@ -58,13 +87,14 @@ func (c *Chip) Load(p *asm.Program) {
 // Run advances all engines on a single global clock until every
 // started thread halts: at each step the engine with the smallest
 // local clock executes one scheduling quantum, so memory-port grants
-// are issued in true time order.
+// are issued in true time order. Failures are returned as *RunError
+// naming the chip and engine they happened on.
 func (c *Chip) Run(maxCycles int64) (*Stats, error) {
 	active := make([]bool, len(c.Engines))
 	anyStarted := false
 	for i, e := range c.Engines {
 		if e.prog == nil {
-			return nil, fmt.Errorf("ixp: engine %d has no program loaded", i)
+			return nil, c.attr(i, fmt.Errorf("no program loaded"))
 		}
 		active[i] = e.active()
 		if active[i] {
@@ -72,7 +102,7 @@ func (c *Chip) Run(maxCycles int64) (*Stats, error) {
 		}
 	}
 	if !anyStarted {
-		return nil, fmt.Errorf("ixp: no engine has running threads")
+		return nil, c.attr(-1, fmt.Errorf("no engine has running threads"))
 	}
 	for {
 		// Engine with the smallest local clock among active ones.
@@ -90,11 +120,11 @@ func (c *Chip) Run(maxCycles int64) (*Stats, error) {
 		}
 		e := c.Engines[best]
 		if e.clock >= maxCycles {
-			return nil, fmt.Errorf("ixp: cycle budget exhausted on engine %d", best)
+			return nil, c.attr(best, fmt.Errorf("cycle budget exhausted"))
 		}
 		done, err := e.tick()
 		if err != nil {
-			return nil, fmt.Errorf("engine %d: %w", best, err)
+			return nil, c.attr(best, err)
 		}
 		if done {
 			active[best] = false
@@ -103,10 +133,10 @@ func (c *Chip) Run(maxCycles int64) (*Stats, error) {
 	// Aggregate statistics; the chip's cycle count is the slowest
 	// engine's clock.
 	total := &Stats{}
-	for _, e := range c.Engines {
+	for i, e := range c.Engines {
 		st, err := e.stats()
 		if err != nil {
-			return nil, err
+			return nil, c.attr(i, err)
 		}
 		if st.Cycles > total.Cycles {
 			total.Cycles = st.Cycles

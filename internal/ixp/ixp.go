@@ -74,6 +74,32 @@ func DefaultConfig() Config {
 	}
 }
 
+// RunError attributes a simulator failure to the chip and engine it
+// happened on, so concurrent runners (the fleet harness runs many
+// chips at once) surface failures that name their origin. Engine is
+// -1 for chip-level failures not tied to one engine; Chip is -1 for a
+// standalone Machine. Unwrap exposes the underlying cause.
+type RunError struct {
+	Chip   int
+	Engine int
+	Err    error
+}
+
+// Error renders the failure with its chip/engine attribution.
+func (e *RunError) Error() string {
+	switch {
+	case e.Chip >= 0 && e.Engine >= 0:
+		return fmt.Sprintf("ixp: chip %d engine %d: %v", e.Chip, e.Engine, e.Err)
+	case e.Chip >= 0:
+		return fmt.Sprintf("ixp: chip %d: %v", e.Chip, e.Err)
+	default:
+		return fmt.Sprintf("ixp: engine %d: %v", e.Engine, e.Err)
+	}
+}
+
+// Unwrap returns the underlying cause.
+func (e *RunError) Unwrap() error { return e.Err }
+
 // Machine is one micro-engine plus its attached memories.
 type Machine struct {
 	Cfg     Config
@@ -82,6 +108,12 @@ type Machine struct {
 	Scratch []uint32
 	CSR     map[uint32]uint32
 	TX      []uint32 // transmit FIFO contents, in write order
+
+	// EngineID and ChipID attribute this machine's errors when many
+	// engines or chips run concurrently. New sets ChipID to -1
+	// (standalone); NewChip and Chip.SetID fill both in.
+	EngineID int
+	ChipID   int
 
 	prog    *asm.Program
 	threads []*thread
@@ -150,6 +182,7 @@ func New(cfg Config) *Machine {
 		SDRAM:   make([]uint32, cfg.SDRAMWords),
 		Scratch: make([]uint32, cfg.ScratchWords),
 		CSR:     map[uint32]uint32{},
+		ChipID:  -1,
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		m.threads = append(m.threads, &thread{id: i})
@@ -242,7 +275,7 @@ func (m *Machine) tick() (done bool, err error) {
 		if t.running && !t.halted && t.wakeAt <= m.clock {
 			c, err := m.step(t, m.clock)
 			if err != nil {
-				return false, fmt.Errorf("ixp: thread %d pc %d: %w", t.id, t.pc, err)
+				return false, fmt.Errorf("thread %d pc %d: %w", t.id, t.pc, err)
 			}
 			m.clock += int64(c)
 			return false, nil
@@ -272,7 +305,7 @@ func (m *Machine) tick() (done bool, err error) {
 			return true, nil
 		}
 		if minWake <= m.clock {
-			return false, fmt.Errorf("ixp: scheduler stuck at cycle %d", m.clock)
+			return false, fmt.Errorf("scheduler stuck at cycle %d", m.clock)
 		}
 		m.stallCycles += minWake - m.clock
 		m.clock = minWake
@@ -296,22 +329,39 @@ func (m *Machine) active() bool {
 	return false
 }
 
+// attr wraps err with this machine's chip/engine attribution, leaving
+// already-attributed errors alone.
+func (m *Machine) attr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*RunError); ok {
+		return err
+	}
+	return &RunError{Chip: m.ChipID, Engine: m.EngineID, Err: err}
+}
+
 // Run executes until every started thread halts or the cycle budget is
-// exhausted.
+// exhausted. Failures are returned as *RunError carrying the machine's
+// chip/engine identity.
 func (m *Machine) Run(maxCycles int64) (*Stats, error) {
 	if m.prog == nil {
-		return nil, fmt.Errorf("ixp: no program loaded")
+		return nil, m.attr(fmt.Errorf("no program loaded"))
 	}
 	for m.clock < maxCycles {
 		done, err := m.tick()
 		if err != nil {
-			return nil, err
+			return nil, m.attr(err)
 		}
 		if done {
 			break
 		}
 	}
-	return m.stats()
+	st, err := m.stats()
+	if err != nil {
+		return st, m.attr(err)
+	}
+	return st, nil
 }
 
 func (m *Machine) stats() (*Stats, error) {
@@ -328,7 +378,7 @@ func (m *Machine) stats() (*Stats, error) {
 			st.Results = append(st.Results, t.results)
 		}
 		if t.running && !t.halted {
-			return st, fmt.Errorf("ixp: cycle budget exhausted (thread %d at pc %d)", t.id, t.pc)
+			return st, fmt.Errorf("cycle budget exhausted (thread %d at pc %d)", t.id, t.pc)
 		}
 	}
 	m.flushCounters(st)

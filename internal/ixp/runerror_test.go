@@ -1,0 +1,96 @@
+package ixp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunErrorAttribution: chip-level failures name the chip and the
+// engine so concurrent fleet runners can attribute them.
+func TestRunErrorAttribution(t *testing.T) {
+	comp, _ := compileChipProgram(t)
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 12
+	cfg.Threads = 2
+	chip := NewChip(cfg, 3)
+	chip.SetID(7)
+	chip.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine 2 thread 1 reads past the end of SRAM.
+	for e := 0; e < 3; e++ {
+		for th := 0; th < 2; th++ {
+			base := uint32((e*2 + th) * 32)
+			if e == 2 && th == 1 {
+				base = uint32(cfg.SRAMWords)
+			}
+			if err := chip.Engines[e].SetArgs(th, regs, []uint32{base}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, err = chip.Run(10_000_000)
+	if err == nil {
+		t.Fatal("expected out-of-range read to fail")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if re.Chip != 7 || re.Engine != 2 {
+		t.Fatalf("attribution chip %d engine %d, want chip 7 engine 2", re.Chip, re.Engine)
+	}
+	if !strings.Contains(err.Error(), "chip 7 engine 2") {
+		t.Fatalf("message lacks attribution: %v", err)
+	}
+}
+
+// TestRunErrorStandalone: a bare Machine attributes with engine only.
+func TestRunErrorStandalone(t *testing.T) {
+	m := New(DefaultConfig())
+	_, err := m.Run(1000)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if re.Chip != -1 {
+		t.Fatalf("standalone machine claims chip %d", re.Chip)
+	}
+	if !strings.Contains(err.Error(), "engine 0") {
+		t.Fatalf("message lacks engine attribution: %v", err)
+	}
+}
+
+// TestRunErrorBudget: cycle-budget exhaustion on a chip names the
+// engine that ran out.
+func TestRunErrorBudget(t *testing.T) {
+	comp, _ := compileChipProgram(t)
+	cfg := DefaultConfig()
+	cfg.SRAMWords = 1 << 12
+	cfg.Threads = 2
+	chip := NewChip(cfg, 2)
+	chip.SetID(3)
+	chip.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		for th := 0; th < 2; th++ {
+			if err := chip.Engines[e].SetArgs(th, regs, []uint32{uint32((e*2 + th) * 32)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, err = chip.Run(10) // far too small
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("budget error %v is not a *RunError", err)
+	}
+	if re.Chip != 3 || re.Engine < 0 {
+		t.Fatalf("attribution chip %d engine %d, want chip 3 and a concrete engine", re.Chip, re.Engine)
+	}
+}

@@ -1,0 +1,31 @@
+// Package pktgen builds deterministic synthetic packets for the
+// benchmark harness and the fleet simulator — the stand-in for the
+// paper's hardware packet generator (§11). Packets are produced
+// directly as 32-bit words in the layout the Nova workloads expect:
+// an Ethernet+IPv4+TCP template (AES, Kasumi) and an IPv6+TCP
+// template (NAT).
+//
+// # Usage
+//
+// Single packets, seeded for reproducibility:
+//
+//	pkt := pktgen.BuildTCP(7, 64)         // 64 payload bytes
+//	copy(sdram[base:], pkt.Words)         // stage for the simulator
+//	w6 := pktgen.BuildIPv6TCP(7, 64)      // NAT's input template
+//
+// Flow streams for the fleet harness (DESIGN.md §13): a FlowGen
+// interleaves a fixed set of flows round-robin, keeps each flow's
+// address fields stable (so hash sharding preserves flow affinity),
+// and is fully determined by its parameters:
+//
+//	g := pktgen.NewFlowGen(pktgen.KindIPv6, 1, 64, 32) // 64 flows, 32 B
+//	src := g.Take(100_000)                 // bounded stream source
+//	for p := src(); p != nil; p = src() {
+//		_ = p.Flow                     // shard key
+//		_ = p.Words                    // wire words
+//	}
+//
+// Packet(flow, seq) is pure, so any sub-stream — one chip's shard,
+// one flow — can be regenerated without producing the rest; the
+// fleet's partition-equivalence tests rely on this.
+package pktgen

@@ -1,0 +1,128 @@
+package pktgen
+
+// Flow-tagged packet streams for the fleet harness (DESIGN.md §13).
+// A FlowGen turns the single-packet builders into a deterministic,
+// round-robin interleaved stream across a fixed set of flows: every
+// packet of one flow shares the flow's address fields (so hash-based
+// sharding keeps the flow on one chip), and Packet(flow, seq) is a
+// pure function of the generator parameters, so any run — and any
+// partition of a run — can be replayed exactly.
+
+// Kind selects the packet template a flow generates.
+type Kind int
+
+// The two wire templates the workloads consume.
+const (
+	// KindTCP4 is the Ethernet+IPv4+TCP template (AES and Kasumi).
+	KindTCP4 Kind = iota
+	// KindIPv6 is the IPv6+TCP template (the NAT workload).
+	KindIPv6
+)
+
+// Packet is one generated packet tagged with its flow identity — the
+// unit the fleet dispatcher shards across chips and reconciles in its
+// delivery accounting.
+type Packet struct {
+	Flow         uint64   // flow identifier, stable across the stream
+	Seq          int64    // sequence number within the flow, from 0
+	Words        []uint32 // wire words in the workload's expected layout
+	PayloadBytes int      // payload size the builder was asked for
+	Kind         Kind     // template the words follow
+}
+
+// FlowGen deterministically generates a packet stream interleaved
+// round-robin across a fixed set of flows. Two generators built with
+// the same parameters yield bit-identical streams; Packet is pure, so
+// arbitrary sub-streams (for example, one chip's shard) can be rebuilt
+// without generating the rest.
+type FlowGen struct {
+	kind    Kind
+	seed    int64
+	flows   int
+	payload int
+	next    int64
+}
+
+// NewFlowGen builds a generator for n flows of payloadBytes packets of
+// the given kind, fully determined by seed (n < 1 is treated as 1).
+func NewFlowGen(kind Kind, seed int64, n, payloadBytes int) *FlowGen {
+	if n < 1 {
+		n = 1
+	}
+	return &FlowGen{kind: kind, seed: seed, flows: n, payload: payloadBytes}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-mixed hash used to
+// derive per-flow and per-packet seeds (and by the fleet's rendezvous
+// sharding).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Flows returns the number of flows in the stream.
+func (g *FlowGen) Flows() int { return g.flows }
+
+// FlowKey returns the flow's stable 32-bit identity key, the value
+// folded into its packets' address fields.
+func (g *FlowGen) FlowKey(flow uint64) uint32 {
+	return uint32(mix64(uint64(g.seed)*0x9e3779b97f4a7c15 + mix64(flow+1)))
+}
+
+// Packet builds the flow's seq-th packet. It is a pure function of
+// (generator parameters, flow, seq): payload bytes vary per packet,
+// address fields are the flow's.
+func (g *FlowGen) Packet(flow uint64, seq int64) *Packet {
+	pseed := int64(mix64(mix64(uint64(g.seed)+1) ^ mix64(flow+1) ^ uint64(seq)*0xd1342543de82ef95))
+	key := g.FlowKey(flow)
+	p := &Packet{Flow: flow, Seq: seq, PayloadBytes: g.payload, Kind: g.kind}
+	switch g.kind {
+	case KindIPv6:
+		w := BuildIPv6TCP(pseed, g.payload)
+		// Flow-stable src and dst addresses derived from the key, so
+		// the NAT workload's hash-unit mapping is per-flow too.
+		for i := 0; i < 8; i++ {
+			w[2+i] = uint32(mix64(uint64(key)<<8 | uint64(i)))
+		}
+		p.Words = w
+	default:
+		t := BuildTCP(pseed, g.payload)
+		w := t.Words
+		// Flow-stable IPv4 5-tuple: src/dst host bytes and the source
+		// port carry the key.
+		w[7] = 0x0a000000 | key&0xff
+		w[8] = 0xc0a80000 | key>>8&0xff
+		w[9] = (0x8000|key>>16&0x3fff)<<16 | 0x01bb
+		p.Words = w
+	}
+	return p
+}
+
+// Next returns the stream's next packet: packet i belongs to flow
+// i mod Flows with in-flow sequence i div Flows.
+func (g *FlowGen) Next() *Packet {
+	i := g.next
+	g.next++
+	return g.Packet(uint64(i)%uint64(g.flows), i/int64(g.flows))
+}
+
+// Reset rewinds the stream to its first packet.
+func (g *FlowGen) Reset() { g.next = 0 }
+
+// Take returns a bounded source: a function yielding the stream's
+// next total packets, then nil — the shape the fleet dispatcher
+// consumes.
+func (g *FlowGen) Take(total int64) func() *Packet {
+	n := int64(0)
+	return func() *Packet {
+		if n >= total {
+			return nil
+		}
+		n++
+		return g.Next()
+	}
+}

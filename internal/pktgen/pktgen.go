@@ -1,7 +1,3 @@
-// Package pktgen builds deterministic synthetic packets for the
-// benchmark harness — the stand-in for the paper's hardware packet
-// generator (§11). Packets are produced directly as 32-bit words in
-// the layout the Nova workloads expect.
 package pktgen
 
 import "math/rand"

@@ -1,0 +1,82 @@
+// Fleetsmoke is the CI smoke test for the multi-chip fleet harness
+// (DESIGN.md §13): it compiles the NAT workload, runs the same packet
+// stream through a 1-chip and a 2-chip fleet, and checks that both
+// reconcile, deliver every packet, and produce bit-identical per-flow
+// output digests — the determinism contract that lets fleet results be
+// compared across chip counts. Exit status 0 means the sharded path
+// equals the solo path.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mip"
+	"repro/internal/pktgen"
+)
+
+const (
+	packets = 10_000
+	flows   = 64
+	payload = 64
+	seed    = 1
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleetsmoke: ok")
+}
+
+func run() error {
+	w, err := fleet.Compile("nat", &mip.Options{Time: 4 * time.Minute})
+	if err != nil {
+		return fmt.Errorf("compile nat: %w", err)
+	}
+	stream := func() fleet.Source {
+		return pktgen.NewFlowGen(w.Kind, seed, flows, payload).Take(packets)
+	}
+	results := make([]*fleet.Result, 0, 2)
+	for _, chips := range []int{1, 2} {
+		start := time.Now()
+		res, err := fleet.Run(w, stream(), fleet.Options{Chips: chips})
+		if err != nil {
+			return fmt.Errorf("N=%d: %w", chips, err)
+		}
+		if err := res.Reconcile(); err != nil {
+			return fmt.Errorf("N=%d reconcile: %w", chips, err)
+		}
+		if res.Status != fleet.StatusOK {
+			return fmt.Errorf("N=%d: status %v, want ok", chips, res.Status)
+		}
+		if res.Delivered != packets {
+			return fmt.Errorf("N=%d: delivered %d of %d", chips, res.Delivered, packets)
+		}
+		var perChip int64
+		for i := range res.Chips {
+			perChip += res.Chips[i].Packets
+		}
+		if perChip != packets {
+			return fmt.Errorf("N=%d: per-chip packets sum to %d, want %d", chips, perChip, packets)
+		}
+		fmt.Printf("fleetsmoke: N=%d delivered %d packets over %d flows in %v\n",
+			chips, res.Delivered, len(res.FlowDigests), time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
+	}
+	solo, duo := results[0], results[1]
+	if len(solo.FlowDigests) != flows || len(duo.FlowDigests) != flows {
+		return fmt.Errorf("flow digest counts %d / %d, want %d",
+			len(solo.FlowDigests), len(duo.FlowDigests), flows)
+	}
+	for f, d := range solo.FlowDigests {
+		if duo.FlowDigests[f] != d {
+			return fmt.Errorf("flow %d output differs: 1-chip %#x vs 2-chip %#x — sharding changed the bits",
+				f, d, duo.FlowDigests[f])
+		}
+	}
+	return nil
+}
