@@ -64,11 +64,12 @@ var table = []wl{
 var compiled = map[string]*nova.Compilation{}
 
 var (
-	jobs     = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
-	cuts     = flag.Bool("cuts", true, "root-node cutting planes in the ILP solves")
-	presolve = flag.Bool("presolve", true, "ILP presolve reductions before the solves")
-	dual     = flag.Bool("dual", true, "dual simplex for warm-started node re-solves")
-	devex    = flag.Bool("devex", true, "devex pricing in the LP solves")
+	jobs      = flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
+	cuts      = flag.Bool("cuts", true, "root-node cutting planes in the ILP solves")
+	presolve  = flag.Bool("presolve", true, "ILP presolve reductions before the solves")
+	dual      = flag.Bool("dual", true, "dual simplex for warm-started node re-solves")
+	devex     = flag.Bool("devex", true, "devex pricing in the LP solves")
+	portfolio = flag.Bool("portfolio", false, "portfolio solving for the workload compiles (exact vs. shuffled vs. greedy race)")
 )
 
 func mipOptions() *mip.Options {
@@ -100,6 +101,7 @@ func compile(w wl) *nova.Compilation {
 	}
 	opts := nova.DefaultOptions()
 	opts.MIP = mipOptions()
+	opts.Alloc.Portfolio = *portfolio
 	fmt.Fprintf(os.Stderr, "compiling %s.nova ...\n", w.name)
 	c, err := nova.Compile(w.name+".nova", w.src, opts)
 	if err != nil {

@@ -7,7 +7,8 @@
 //
 //	novac [-entry main] [-print cps|mir|asm] [-stats] [-no-prune]
 //	      [-no-coarsen] [-remat] [-cuts=false] [-presolve=false]
-//	      [-alloc-budget 30s] [-fallback auto|off|force] [-fault spec]
+//	      [-alloc-budget 30s] [-fallback auto|off|force] [-portfolio]
+//	      [-lp out.lp] [-mps out.mps] [-fault spec]
 //	      [-trace out.json] file.nova
 //
 // -stats prints per-phase wall time and the solver/simulator counters
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mip"
+	"repro/internal/model"
 	"repro/internal/nova"
 	"repro/internal/obs"
 )
@@ -43,7 +45,9 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel ILP search workers (0 = all cores)")
 	cuts := flag.Bool("cuts", true, "root-node cutting planes in the ILP solve")
 	presolve := flag.Bool("presolve", true, "ILP presolve reductions before the solve")
+	portfolio := flag.Bool("portfolio", false, "race the exact solver against the restarted shuffled-priority search and the greedy allocator; first verified answer wins")
 	lpOut := flag.String("lp", "", "write the generated integer program to this file (CPLEX LP format)")
+	mpsOut := flag.String("mps", "", "write the generated integer program to this file (MPS format, canonical naming)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the compile to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,6 +66,7 @@ func main() {
 	opts.Alloc.Prune = !*noPrune
 	opts.Alloc.Coarsen = !*noCoarsen
 	opts.Alloc.Remat = *remat
+	opts.Alloc.Portfolio = *portfolio
 	switch *fallbackMode {
 	case "auto":
 		opts.Alloc.Fallback = core.FallbackAuto
@@ -129,6 +134,18 @@ func main() {
 			os.Exit(1)
 		}
 		if err := comp.Alloc.WriteLP(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *mpsOut != "" {
+		f, err := os.Create(*mpsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := comp.Alloc.WriteMPS(f, model.MPSFixed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -3,7 +3,8 @@
 // cache in front of the ILP solver (DESIGN.md §12).
 //
 //	novad [-addr :7433] [-workers N] [-queue N] [-cache-entries N]
-//	      [-cache-bytes N] [-solve-timeout 0] [-j N] [-fault plan]
+//	      [-cache-bytes N] [-solve-timeout 0] [-j N] [-portfolio]
+//	      [-fault plan]
 //
 // Compile requests hit three tiers: an exact output cache keyed by the
 // source text, an exact model cache keyed by the canonicalized ILP's
@@ -37,6 +38,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max cache payload bytes")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none)")
 	jflag := flag.Int("j", 0, "ILP tree-search workers per solve (0 = all cores)")
+	portfolio := flag.Bool("portfolio", false, "portfolio solving: race the exact solver against the fallback paths on every request")
 	faultSpec := flag.String("fault", "", "fault plan, e.g. cache/corrupt@1 (see internal/fault)")
 	flag.Parse()
 
@@ -55,6 +57,7 @@ func main() {
 		QueueDepth:   *queue,
 		SolveTimeout: *solveTimeout,
 		MIP:          &mip.Options{Workers: *jflag},
+		Portfolio:    *portfolio,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,115 @@
+package backend
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// Solve-path counters (DESIGN.md §8): one solves tick per member
+// Solve call, errors for member failures, verify_drops for answers
+// that failed re-verification against the model, cancels for Cancel
+// invocations, restarts for Shuffled's re-randomized attempts.
+var (
+	cSolves      = obs.NewCounter("backend/solves")
+	cErrors      = obs.NewCounter("backend/errors")
+	cVerifyDrops = obs.NewCounter("backend/verify_drops")
+	cCancels     = obs.NewCounter("backend/cancels")
+	cRestarts    = obs.NewCounter("backend/restarts")
+)
+
+// verifyTol is the feasibility tolerance a candidate answer must pass
+// (model.CheckFeasible) before a portfolio lets it win. It matches the
+// solver's own integrality tolerance and the compile cache's feasTol.
+const verifyTol = 1e-6
+
+// Caps declares which solve capabilities a Backend has, so a caller
+// (chiefly Portfolio) knows what warm-start material it may forward
+// and what conclusions it may trust.
+type Caps struct {
+	// WarmStart: the backend consumes Options.Seed and
+	// Options.WarmBasis instead of silently ignoring them.
+	WarmStart bool
+	// Cuts: the backend consumes Options.SeedCuts.
+	Cuts bool
+	// Bounds: the backend consumes Options.LowerBound and may conclude
+	// Optimal from a transferred proof.
+	Bounds bool
+	// Exact: the backend can prove Optimal and Infeasible on its own.
+	// Backends without this flag only ever produce unproven incumbents
+	// (or errors), and a portfolio never accepts a proof claim from
+	// them.
+	Exact bool
+}
+
+// Backend is a pluggable ILP solver: the allocator and the daemon
+// dispatch every model solve through this interface (DESIGN.md §14).
+//
+// Solve minimizes m under ctx and returns a mip.Result whose Status
+// is honest in the §10 sense: Optimal and Infeasible are proof
+// claims, every other status carries the best incumbent found (nil X
+// when none). Implementations must be safe for concurrent Solve calls
+// and must honor both ctx and Options.Time.
+type Backend interface {
+	// Name identifies the backend in counters and reports.
+	Name() string
+	// Caps reports the backend's capability flags.
+	Caps() Caps
+	// Solve minimizes the model's ILP. opts may be nil; callers retain
+	// ownership of opts and implementations must not mutate it.
+	Solve(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error)
+	// Cancel aborts every in-flight Solve on this backend (each then
+	// returns with Status Cancelled and its best incumbent, exactly as
+	// if its context had been cancelled). Safe to call concurrently
+	// with Solve and when nothing is in flight.
+	Cancel()
+}
+
+// canceller implements the Cancel side of the Backend contract: each
+// Solve registers a derived context, and Cancel fires every live one.
+type canceller struct {
+	mu   sync.Mutex
+	live map[uint64]context.CancelFunc
+	next uint64
+}
+
+// wrap derives a cancellable context registered with the canceller;
+// the returned release must be deferred by the Solve that called it.
+func (c *canceller) wrap(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	c.mu.Lock()
+	if c.live == nil {
+		c.live = map[uint64]context.CancelFunc{}
+	}
+	id := c.next
+	c.next++
+	c.live[id] = cancel
+	c.mu.Unlock()
+	return ctx, func() {
+		c.mu.Lock()
+		delete(c.live, id)
+		c.mu.Unlock()
+		cancel()
+	}
+}
+
+// Cancel aborts every in-flight Solve registered with this canceller.
+func (c *canceller) Cancel() {
+	c.mu.Lock()
+	for _, cancel := range c.live {
+		cancel()
+	}
+	c.mu.Unlock()
+	cCancels.Inc()
+}
+
+// orBackground normalizes a nil context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

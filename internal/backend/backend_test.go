@@ -1,0 +1,237 @@
+package backend_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// knap builds the correlated multi-knapsack test instance as a Model.
+func knap(n, m int, seed int64) *model.Model {
+	p := mip.MultiKnapsack(n, m, seed)
+	mask := make([]bool, p.NumCols())
+	for i := range mask {
+		mask[i] = true
+	}
+	return model.FromILP(p, mask)
+}
+
+func TestExactBackend(t *testing.T) {
+	m := knap(12, 3, 1)
+	be := backend.NewExact()
+	res, err := be.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Fatalf("status = %v, want Optimal", res.Status)
+	}
+	if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+		t.Fatalf("optimal point infeasible: %v", err)
+	}
+}
+
+func TestShuffledMatchesExact(t *testing.T) {
+	m := knap(12, 3, 1)
+	exact, err := backend.NewExact().Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := backend.NewShuffled(7).Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Status != mip.Optimal {
+		t.Fatalf("shuffled status = %v, want Optimal", sh.Status)
+	}
+	if math.Abs(sh.Obj-exact.Obj) > 1e-6 {
+		t.Fatalf("shuffled obj %g != exact obj %g", sh.Obj, exact.Obj)
+	}
+	if err := m.CheckFeasible(sh.X, 1e-6); err != nil {
+		t.Fatalf("shuffled point infeasible: %v", err)
+	}
+}
+
+func TestPortfolioExactWins(t *testing.T) {
+	m := knap(12, 3, 1)
+	pf := backend.NewPortfolio(backend.NewExact(), backend.NewShuffled(0))
+	res, err := pf.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Fatalf("status = %v, want Optimal", res.Status)
+	}
+	if w := pf.Winner(); w != "exact" && w != "shuffled" {
+		t.Fatalf("winner = %q, want an exact-capable member", w)
+	}
+	if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+		t.Fatalf("winning point infeasible: %v", err)
+	}
+}
+
+// canned returns a Func backend that replies with a fixed result.
+func canned(name string, caps backend.Caps, res *mip.Result, delay time.Duration) backend.Backend {
+	return backend.NewFunc(name, caps,
+		func(ctx context.Context, m *model.Model, o *mip.Options) (*mip.Result, error) {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return &mip.Result{Status: mip.Cancelled, Obj: math.Inf(1)}, nil
+				}
+			}
+			r := *res
+			return &r, nil
+		})
+}
+
+// feasiblePoint solves the model once to obtain a genuinely feasible
+// incumbent for the canned backends.
+func feasiblePoint(t *testing.T, m *model.Model) ([]float64, float64) {
+	t.Helper()
+	res, err := backend.NewExact().Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil || res.Status != mip.Optimal {
+		t.Fatalf("seed solve failed: %v %v", err, res)
+	}
+	return res.X, res.Obj
+}
+
+// TestPortfolioDropsLyingOptimal: a member without the Exact cap
+// claims Optimal on an infeasible point; the claim must not win.
+func TestPortfolioDropsLyingOptimal(t *testing.T) {
+	m := knap(12, 3, 1)
+	bad := make([]float64, m.LP().NumCols())
+	for i := range bad {
+		bad[i] = 1 // every item packed: violates the knapsack rows
+	}
+	liar := canned("liar", backend.Caps{}, &mip.Result{Status: mip.Optimal, X: bad, Obj: -1e9}, 0)
+	pf := backend.NewPortfolio(liar, backend.NewExact())
+	res, err := pf.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Winner() != "exact" {
+		t.Fatalf("winner = %q, want exact", pf.Winner())
+	}
+	if res.Status != mip.Optimal {
+		t.Fatalf("status = %v, want Optimal from the exact member", res.Status)
+	}
+	if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+		t.Fatalf("winning point infeasible: %v", err)
+	}
+}
+
+// TestPortfolioRefutesInfeasible: an exact-capable member claims
+// Infeasible while another member holds a verified feasible point; the
+// point wins with its honest (unproven) status.
+func TestPortfolioRefutesInfeasible(t *testing.T) {
+	m := knap(12, 3, 1)
+	x, obj := feasiblePoint(t, m)
+	bogus := canned("bogus", backend.Caps{Exact: true},
+		&mip.Result{Status: mip.Infeasible, Obj: math.Inf(1)}, 0)
+	feas := canned("feas", backend.Caps{},
+		&mip.Result{Status: mip.NodeLimit, X: x, Obj: obj}, 0)
+	pf := backend.NewPortfolio(bogus, feas)
+	pf.Stagger = time.Millisecond
+	res, err := pf.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Winner() != "feas" {
+		t.Fatalf("winner = %q, want feas", pf.Winner())
+	}
+	if res.Status != mip.NodeLimit {
+		t.Fatalf("status = %v, want the incumbent's honest NodeLimit", res.Status)
+	}
+}
+
+// TestPortfolioNeverUpgradesIncumbent: when no proof arrives the best
+// incumbent wins but keeps its halting status.
+func TestPortfolioBestIncumbentWins(t *testing.T) {
+	m := knap(12, 3, 1)
+	x, obj := feasiblePoint(t, m)
+	zero := make([]float64, m.LP().NumCols()) // feasible: take nothing
+	worse := canned("worse", backend.Caps{},
+		&mip.Result{Status: mip.TimeLimit, X: zero, Obj: 0}, 0)
+	better := canned("better", backend.Caps{},
+		&mip.Result{Status: mip.NodeLimit, X: x, Obj: obj}, 0)
+	pf := backend.NewPortfolio(worse, better)
+	res, err := pf.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Winner() != "better" {
+		t.Fatalf("winner = %q, want better (obj %g beats 0)", pf.Winner(), obj)
+	}
+	if res.Status == mip.Optimal {
+		t.Fatal("portfolio upgraded an unproven incumbent to Optimal")
+	}
+	if math.Abs(m.Objective(res.X)-obj) > 1e-9 {
+		t.Fatalf("returned point objective %g, want %g", m.Objective(res.X), obj)
+	}
+}
+
+// TestPortfolioCancel: Cancel aborts an in-flight race.
+func TestPortfolioCancel(t *testing.T) {
+	m := knap(12, 3, 1)
+	block := backend.NewFunc("block", backend.Caps{Exact: true},
+		func(ctx context.Context, _ *model.Model, _ *mip.Options) (*mip.Result, error) {
+			<-ctx.Done()
+			return &mip.Result{Status: mip.Cancelled, Obj: math.Inf(1)}, nil
+		})
+	pf := backend.NewPortfolio(block)
+	done := make(chan *mip.Result, 1)
+	go func() {
+		res, _ := pf.Solve(context.Background(), m, nil)
+		done <- res
+	}()
+	time.Sleep(20 * time.Millisecond)
+	pf.Cancel()
+	select {
+	case res := <-done:
+		if res == nil || res.Status != mip.Cancelled {
+			t.Fatalf("result = %+v, want Cancelled", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("portfolio Solve did not return after Cancel")
+	}
+}
+
+// TestPortfolioStripsWarmStartForIncapableMembers: a member without
+// the WarmStart/Cuts/Bounds caps must not see that material.
+func TestPortfolioStripsWarmStart(t *testing.T) {
+	m := knap(12, 3, 1)
+	x, obj := feasiblePoint(t, m)
+	var sawSeed, sawCuts, sawBound bool
+	probe := backend.NewFunc("probe", backend.Caps{},
+		func(ctx context.Context, _ *model.Model, o *mip.Options) (*mip.Result, error) {
+			sawSeed = o.Seed != nil
+			sawCuts = o.SeedCuts != nil
+			sawBound = o.LowerBound != nil
+			return &mip.Result{Status: mip.NodeLimit, X: x, Obj: obj}, nil
+		})
+	lb := -1e9
+	opts := &mip.Options{
+		Time:       time.Minute,
+		Seed:       x,
+		SeedCuts:   []mip.CutRow{{Cols: []int{0}, Vals: []float64{1}, Lo: 0, Hi: 1}},
+		LowerBound: &lb,
+	}
+	pf := backend.NewPortfolio(probe)
+	if _, err := pf.Solve(context.Background(), m, opts); err != nil {
+		t.Fatal(err)
+	}
+	if sawSeed || sawCuts || sawBound {
+		t.Fatalf("incapable member saw warm-start material: seed=%v cuts=%v bound=%v",
+			sawSeed, sawCuts, sawBound)
+	}
+	if opts.Seed == nil || opts.SeedCuts == nil || opts.LowerBound == nil {
+		t.Fatal("portfolio mutated the caller's options")
+	}
+}

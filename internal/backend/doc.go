@@ -1,0 +1,34 @@
+// Package backend carves the model → solver handoff behind a
+// pluggable Backend interface (DESIGN.md §14): the allocator
+// (internal/core) and the daemon (internal/server) dispatch every ILP
+// through a Backend instead of calling the lp+mip stack directly.
+//
+// Three implementations ship with the repository:
+//
+//   - Exact — the default: model.Solve's presolve + root cuts +
+//     parallel warm-started branch and bound. Proves Optimal and
+//     Infeasible, consumes every kind of warm-start material.
+//   - Shuffled — a restarted branch and bound that re-randomizes the
+//     branching priority order on a geometric restart schedule. Also
+//     exact; its value is diversification when the default priority
+//     order stalls.
+//   - Func — an adapter wrapping a plain function, used by the
+//     allocator to expose its greedy fallback allocator as a backend
+//     without this package importing internal/core.
+//
+// Portfolio races any set of backends under one context: the first
+// member whose answer survives verification wins, the losers are
+// cancelled and joined before Solve returns (no goroutine outlives
+// the race). Verification-before-winning is the contract that keeps
+// racing honest — a proof claim (Optimal/Infeasible) is only accepted
+// after the point re-passes model.CheckFeasible (or, for Infeasible,
+// only while no member holds a verified feasible point), and a result
+// that arrives without a proof can win only when no proof arrives at
+// all, with its halting status reported unchanged. A portfolio
+// therefore never upgrades an unproven incumbent to Optimal.
+//
+// Counters (DESIGN.md §8 naming scheme): backend/solves,
+// backend/errors, backend/verify_drops, backend/cancels,
+// backend/restarts, portfolio/races, portfolio/cancelled,
+// portfolio/refuted_infeasible, and portfolio/winner/<name>.
+package backend

@@ -1,0 +1,41 @@
+package backend
+
+import (
+	"context"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// Exact is the default backend: the full lp+mip stack behind
+// model.Solve — presolve, root cutting planes, and the parallel
+// warm-started branch and bound. It consumes every kind of cache-
+// provided warm-start material and proves Optimal/Infeasible.
+type Exact struct {
+	canceller
+}
+
+// NewExact returns the default exact backend.
+func NewExact() *Exact { return &Exact{} }
+
+// Name implements Backend.
+func (b *Exact) Name() string { return "exact" }
+
+// Caps implements Backend: the exact stack supports everything.
+func (b *Exact) Caps() Caps {
+	return Caps{WarmStart: true, Cuts: true, Bounds: true, Exact: true}
+}
+
+// Solve implements Backend by running model.Solve with ctx threaded
+// into the search (mip.Options.Ctx).
+func (b *Exact) Solve(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error) {
+	cSolves.Inc()
+	var o mip.Options
+	if opts != nil {
+		o = *opts
+	}
+	ctx, release := b.wrap(orBackground(ctx))
+	defer release()
+	o.Ctx = ctx
+	return m.Solve(&o)
+}

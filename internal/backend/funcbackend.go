@@ -1,0 +1,41 @@
+package backend
+
+import (
+	"context"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// SolveFunc is the function signature a Func backend wraps.
+type SolveFunc func(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error)
+
+// Func adapts a plain function as a Backend. The allocator wraps its
+// greedy fallback allocator this way (with empty Caps — it can warm-
+// start from nothing and proves nothing), which is how the fallback
+// joins a portfolio without this package importing internal/core.
+type Func struct {
+	canceller
+	name string
+	caps Caps
+	fn   SolveFunc
+}
+
+// NewFunc wraps fn as a backend with the given name and capabilities.
+func NewFunc(name string, caps Caps, fn SolveFunc) *Func {
+	return &Func{name: name, caps: caps, fn: fn}
+}
+
+// Name implements Backend.
+func (b *Func) Name() string { return b.name }
+
+// Caps implements Backend.
+func (b *Func) Caps() Caps { return b.caps }
+
+// Solve implements Backend by calling the wrapped function.
+func (b *Func) Solve(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error) {
+	cSolves.Inc()
+	ctx, release := b.wrap(orBackground(ctx))
+	defer release()
+	return b.fn(ctx, m, opts)
+}

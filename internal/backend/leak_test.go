@@ -1,0 +1,66 @@
+package backend_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// TestPortfolioDoesNotLeakGoroutines runs repeated races in which the
+// fast member wins while a slow member is still searching, and checks
+// that every cancelled loser is joined before Solve returns: the
+// goroutine count after the races settles back to the baseline. This
+// is the losers-must-not-leak guarantee of the Backend contract.
+func TestPortfolioDoesNotLeakGoroutines(t *testing.T) {
+	m := knap(10, 3, 2)
+	x, obj := feasiblePoint(t, m)
+
+	slow := backend.NewFunc("slow", backend.Caps{Exact: true},
+		func(ctx context.Context, _ *model.Model, _ *mip.Options) (*mip.Result, error) {
+			select {
+			case <-ctx.Done():
+				return &mip.Result{Status: mip.Cancelled, Obj: math.Inf(1)}, nil
+			case <-time.After(30 * time.Second):
+				return &mip.Result{Status: mip.TimeLimit, Obj: math.Inf(1)}, nil
+			}
+		})
+	fast := backend.NewFunc("fast", backend.Caps{Exact: true},
+		func(ctx context.Context, mm *model.Model, _ *mip.Options) (*mip.Result, error) {
+			return &mip.Result{Status: mip.Optimal, X: x, Obj: obj}, nil
+		})
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		// fast is the primary (first Exact member); slow would start
+		// after the stagger, so force it into the race immediately.
+		pf := backend.NewPortfolio(fast, slow)
+		pf.Stagger = time.Nanosecond
+		res, err := pf.Solve(context.Background(), m, &mip.Options{Time: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != mip.Optimal {
+			t.Fatalf("race %d: status = %v, want Optimal", i, res.Status)
+		}
+	}
+	// Allow runtime-internal goroutines (timers etc.) to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across portfolio races: baseline %d, now %d", base, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,293 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// Portfolio-race counters (DESIGN.md §8/§14): races per Solve,
+// cancelled for losers that were cancelled and drained, and
+// refuted_infeasible for Infeasible proof claims dropped because
+// another member held a verified feasible point (§10: a verified
+// point refutes the claim — it must have been numerical).
+var (
+	cRaces     = obs.NewCounter("portfolio/races")
+	cCancelled = obs.NewCounter("portfolio/cancelled")
+	cRefuted   = obs.NewCounter("portfolio/refuted_infeasible")
+)
+
+// Portfolio races its member backends on one model under one context
+// and returns the first answer that survives verification
+// (DESIGN.md §14). The decision rules:
+//
+//   - A proof claim (Optimal) wins immediately once its point
+//     re-passes model.CheckFeasible; the race is cancelled and every
+//     loser is joined before Solve returns.
+//   - An Infeasible claim is only accepted from an Exact member, and
+//     only if no member produced a verified feasible point — a
+//     verified point refutes the claim (portfolio/refuted_infeasible).
+//   - Unproven incumbents (NodeLimit, TimeLimit, Degraded, Cancelled)
+//     are held; the best verified one (by recomputed objective, ties
+//     to the earlier member) wins only when no proof arrives, with
+//     its halting status reported unchanged — a portfolio never
+//     upgrades an incumbent to Optimal.
+//
+// Scheduling: the first Exact member is the primary and starts
+// immediately with the caller's full worker budget. Further Exact
+// members start after Stagger with Workers=1, so on the common fast
+// path they never contend with the primary — the racing overhead is
+// the cheap members' single pass plus goroutine bookkeeping. Cheap
+// (non-Exact) members start immediately.
+//
+// A Portfolio is safe for concurrent Solve calls, but Winner reports
+// only the most recent outcome — callers that need it (the allocator)
+// build one Portfolio per solve.
+type Portfolio struct {
+	canceller
+
+	// Stagger is the head start the primary exact member gets before
+	// every other exact member launches; 0 means a quarter of the
+	// solve budget (Options.Time, default 5 minutes).
+	Stagger time.Duration
+
+	members []Backend
+
+	mu     sync.Mutex
+	winner string
+}
+
+// NewPortfolio builds a portfolio over the given members. Order
+// matters: the first Exact-capable member is the primary (full worker
+// budget, no stagger), and earlier members win objective ties.
+func NewPortfolio(members ...Backend) *Portfolio {
+	return &Portfolio{members: members}
+}
+
+// Name implements Backend.
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// Caps implements Backend: the union of the members' capabilities
+// (material is forwarded only to members that can consume it).
+func (p *Portfolio) Caps() Caps {
+	var c Caps
+	for _, b := range p.members {
+		bc := b.Caps()
+		c.WarmStart = c.WarmStart || bc.WarmStart
+		c.Cuts = c.Cuts || bc.Cuts
+		c.Bounds = c.Bounds || bc.Bounds
+		c.Exact = c.Exact || bc.Exact
+	}
+	return c
+}
+
+// Winner returns the name of the member whose answer the most recent
+// Solve returned ("" before the first Solve or when no member
+// produced a usable result).
+func (p *Portfolio) Winner() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.winner
+}
+
+func (p *Portfolio) setWinner(name string) {
+	p.mu.Lock()
+	p.winner = name
+	p.mu.Unlock()
+}
+
+// memberOpts copies the caller's options for one member, stripping
+// warm-start material the member's caps cannot consume and reducing
+// non-primary exact members to one tree-search worker.
+func memberOpts(base *mip.Options, caps Caps, primary bool) *mip.Options {
+	var o mip.Options
+	if base != nil {
+		o = *base
+	}
+	if !caps.WarmStart {
+		o.Seed = nil
+		o.WarmBasis = nil
+	}
+	if !caps.Cuts {
+		o.SeedCuts = nil
+	}
+	if !caps.Bounds {
+		o.LowerBound = nil
+	}
+	if caps.Exact && !primary {
+		o.Workers = 1
+	}
+	return &o
+}
+
+// Solve implements Backend by racing the members. All member
+// goroutines are joined before Solve returns, win or lose.
+func (p *Portfolio) Solve(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error) {
+	if len(p.members) == 0 {
+		return nil, errors.New("backend: portfolio has no members")
+	}
+	cRaces.Inc()
+	p.setWinner("")
+	start := time.Now()
+	ctx, release := p.wrap(orBackground(ctx))
+	defer release()
+	raceCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	budget := 5 * time.Minute
+	if opts != nil && opts.Time > 0 {
+		budget = opts.Time
+	}
+	stagger := p.Stagger
+	if stagger <= 0 {
+		stagger = budget / 4
+	}
+	primary := -1
+	for i, b := range p.members {
+		if b.Caps().Exact {
+			primary = i
+			break
+		}
+	}
+
+	type outcome struct {
+		idx int
+		res *mip.Result
+		err error
+	}
+	ch := make(chan outcome, len(p.members))
+	var wg sync.WaitGroup
+	for i, b := range p.members {
+		delay := time.Duration(0)
+		if b.Caps().Exact && i != primary {
+			delay = stagger
+		}
+		wg.Add(1)
+		go func(i int, b Backend, delay time.Duration) {
+			defer wg.Done()
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-raceCtx.Done():
+					t.Stop()
+					ch <- outcome{i, &mip.Result{Status: mip.Cancelled, Obj: math.Inf(1)}, nil}
+					return
+				case <-t.C:
+				}
+			}
+			res, err := b.Solve(raceCtx, m, memberOpts(opts, b.Caps(), i == primary))
+			ch <- outcome{i, res, err}
+		}(i, b, delay)
+	}
+
+	var winner, best, infeas *mip.Result
+	winIdx, bestIdx, infeasIdx := -1, -1, -1
+	bestObj := math.Inf(1)
+	var firstErr error
+	nodes, iters, cuts := 0, 0, 0
+	tally := func(res *mip.Result) {
+		nodes += res.Nodes
+		iters += res.LPIters
+		cuts += res.Cuts
+	}
+	pending := len(p.members)
+	for pending > 0 && winner == nil {
+		o := <-ch
+		pending--
+		if o.err != nil || o.res == nil {
+			cErrors.Inc()
+			if firstErr == nil {
+				firstErr = o.err
+				if firstErr == nil {
+					firstErr = fmt.Errorf("backend %s returned no result", p.members[o.idx].Name())
+				}
+			}
+			continue
+		}
+		res := o.res
+		tally(res)
+		exact := p.members[o.idx].Caps().Exact
+		switch {
+		case res.Status == mip.Optimal && exact:
+			if res.X == nil || m.CheckFeasible(res.X, verifyTol) != nil {
+				cVerifyDrops.Inc()
+				continue
+			}
+			winner, winIdx = res, o.idx
+		case res.Status == mip.Infeasible:
+			if exact && infeas == nil {
+				infeas, infeasIdx = res, o.idx
+			}
+		default:
+			// Unproven incumbents — including an "Optimal" claim from a
+			// member whose caps cannot back it with a proof, which is
+			// downgraded so it can never surface as proven.
+			if res.Status == mip.Optimal {
+				res.Status = mip.NodeLimit
+			}
+			if res.X == nil {
+				continue
+			}
+			if m.CheckFeasible(res.X, verifyTol) != nil {
+				cVerifyDrops.Inc()
+				continue
+			}
+			obj := m.Objective(res.X)
+			if obj < bestObj-1e-12 || (math.Abs(obj-bestObj) <= 1e-12 && (bestIdx < 0 || o.idx < bestIdx)) {
+				best, bestObj, bestIdx = res, obj, o.idx
+			}
+		}
+	}
+
+	// Decision made (or every member reported): cancel the losers and
+	// drain them — no member goroutine outlives the race.
+	cancelAll()
+	for pending > 0 {
+		o := <-ch
+		pending--
+		if o.res != nil {
+			tally(o.res)
+			if o.res.Status == mip.Cancelled {
+				cCancelled.Inc()
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	finish := func(res *mip.Result, idx int) (*mip.Result, error) {
+		name := p.members[idx].Name()
+		p.setWinner(name)
+		obs.NewCounter("portfolio/winner/" + name).Inc()
+		res.Nodes, res.LPIters, res.Cuts = nodes, iters, cuts
+		res.Time = elapsed
+		return res, nil
+	}
+	switch {
+	case winner != nil:
+		if infeas != nil {
+			cRefuted.Inc()
+		}
+		return finish(winner, winIdx)
+	case best != nil:
+		if infeas != nil {
+			cRefuted.Inc()
+		}
+		return finish(best, bestIdx)
+	case infeas != nil:
+		return finish(infeas, infeasIdx)
+	case ctx.Err() != nil:
+		return &mip.Result{Status: mip.Cancelled, Obj: math.Inf(1), Time: elapsed}, nil
+	case firstErr != nil:
+		return nil, fmt.Errorf("backend: every portfolio member failed: %w", firstErr)
+	default:
+		return nil, errors.New("backend: no portfolio member produced a usable result")
+	}
+}

@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/mip"
+	"repro/internal/model"
+)
+
+// Shuffled is the restarted randomized-priority branch and bound: it
+// runs the exact solver in attempts whose branching priority order is
+// re-randomized from a deterministic seed each restart, on a geometric
+// budget schedule (the first attempt gets 1/2^(restarts-1) of the
+// budget, each later one twice as much, the last whatever remains).
+// The best verified incumbent carries across attempts as the next
+// attempt's seed. An attempt that proves Optimal or Infeasible ends
+// the solve with that proof, so Shuffled is itself an exact backend —
+// its value inside a portfolio is diversification when the default
+// priority order (or a caller-supplied one) has the tree stalling.
+type Shuffled struct {
+	canceller
+	seed     int64
+	restarts int
+}
+
+// NewShuffled returns a shuffled backend drawing priority orders from
+// seed. Different seeds give independently diversified searches.
+func NewShuffled(seed int64) *Shuffled { return &Shuffled{seed: seed, restarts: 4} }
+
+// Name implements Backend.
+func (b *Shuffled) Name() string { return "shuffled" }
+
+// Caps implements Backend: shuffled runs the exact stack, so it
+// consumes warm-start material and proof bounds; only the caller's
+// branching priority is overridden.
+func (b *Shuffled) Caps() Caps {
+	return Caps{WarmStart: true, Cuts: true, Bounds: true, Exact: true}
+}
+
+// Solve implements Backend.
+func (b *Shuffled) Solve(ctx context.Context, m *model.Model, opts *mip.Options) (*mip.Result, error) {
+	cSolves.Inc()
+	var base mip.Options
+	if opts != nil {
+		base = *opts
+	}
+	ctx, release := b.wrap(orBackground(ctx))
+	defer release()
+	base.Ctx = ctx
+
+	budget := base.Time
+	if budget <= 0 {
+		budget = 5 * time.Minute
+	}
+	start := time.Now()
+	n := m.LP().NumCols()
+
+	var best *mip.Result
+	bestObj := math.Inf(1)
+	nodes, iters, cuts := 0, 0, 0
+	for attempt := 0; attempt < b.restarts; attempt++ {
+		remaining := budget - time.Since(start)
+		if remaining <= 0 || ctx.Err() != nil {
+			break
+		}
+		slice := remaining
+		if attempt < b.restarts-1 {
+			if s := budget / (1 << (b.restarts - 1 - attempt)); s < slice {
+				slice = s
+			}
+		}
+		o := base
+		o.Time = slice
+		o.Priority = shufflePriority(n, m.IntegerMask(), b.seed, attempt)
+		if best != nil && best.X != nil {
+			// Re-verified by the solver before installation.
+			o.Seed = best.X
+		}
+		res, err := m.Solve(&o)
+		if err != nil {
+			if best != nil {
+				break
+			}
+			return nil, err
+		}
+		nodes += res.Nodes
+		iters += res.LPIters
+		cuts += res.Cuts
+		if res.Status == mip.Optimal || res.Status == mip.Infeasible {
+			res.Nodes, res.LPIters, res.Cuts = nodes, iters, cuts
+			res.Time = time.Since(start)
+			return res, nil
+		}
+		if res.X != nil && res.Obj < bestObj {
+			best, bestObj = res, res.Obj
+		}
+		cRestarts.Inc()
+	}
+	if best == nil {
+		status := mip.TimeLimit
+		if ctx.Err() != nil {
+			status = mip.Cancelled
+		}
+		return &mip.Result{Status: status, Obj: math.Inf(1), Time: time.Since(start)}, nil
+	}
+	if ctx.Err() != nil {
+		best.Status = mip.Cancelled
+	}
+	best.Nodes, best.LPIters, best.Cuts = nodes, iters, cuts
+	best.Time = time.Since(start)
+	return best, nil
+}
+
+// shufflePriority draws a fresh random branching priority for every
+// integer column, deterministically from (seed, attempt).
+func shufflePriority(n int, integer []bool, seed int64, attempt int) []int {
+	rng := rand.New(rand.NewSource(seed*0x9e3779b9 + int64(attempt) + 1))
+	pri := make([]int, n)
+	for j := range pri {
+		if j < len(integer) && integer[j] {
+			pri[j] = rng.Intn(1 << 20)
+		}
+	}
+	return pri
+}

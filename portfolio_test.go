@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/mip"
+	"repro/internal/nova"
+	"repro/internal/obs"
+	"repro/internal/pktgen"
+	"repro/internal/workloads"
+)
+
+// natRunComp is natRun returning the compilation too, so portfolio
+// tests can inspect the solver status behind the allocation.
+func natRunComp(t *testing.T, alloc func(*nova.Options)) (*nova.Compilation, uint32, []uint32) {
+	t.Helper()
+	opts := nova.DefaultOptions()
+	opts.MIP = &mip.Options{Time: 2 * time.Minute}
+	if alloc != nil {
+		alloc(&opts)
+	}
+	comp, err := nova.Compile("nat.nova", workloads.NATSource, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := newMachine(1)
+	m.Load(comp.Asm)
+	regs, err := comp.EntryRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := pktgen.BuildIPv6TCP(7, 64)
+	copy(m.SDRAM[0x100:], words)
+	if err := m.SetArgs(0, regs, []uint32{0x100, 0x8000, 8}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(100_000_000)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return comp, st.Results[0][0], append([]uint32(nil), m.SDRAM...)
+}
+
+// TestPortfolioCompileEndToEnd is the tentpole acceptance check: a
+// portfolio compile of the NAT workload (exact vs. restarted shuffled
+// vs. greedy race) produces bit-identical simulator output to the
+// plain exact-backend compile, and on a clean solve an exact-capable
+// member wins with a proven optimum.
+func TestPortfolioCompileEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full compiles of the NAT workload")
+	}
+	_, wantRet, wantMem := natRunComp(t, nil)
+
+	base := obs.TakeSnapshot()
+	comp, gotRet, gotMem := natRunComp(t, func(o *nova.Options) { o.Alloc.Portfolio = true })
+	d := obs.Since(base)
+	if d["portfolio/races"] < 1 {
+		t.Fatalf("portfolio/races = %d, want >= 1 (%v)", d["portfolio/races"], d)
+	}
+	if d["portfolio/winner/exact"]+d["portfolio/winner/shuffled"] < 1 {
+		t.Fatalf("no exact-capable member won the clean race: %v", d)
+	}
+	if comp.Alloc.MIP.Status != mip.Optimal {
+		t.Fatalf("clean portfolio status = %v, want Optimal", comp.Alloc.MIP.Status)
+	}
+	if comp.Alloc.Fallback {
+		t.Fatal("clean portfolio compile flagged as fallback")
+	}
+	if gotRet != wantRet {
+		t.Fatalf("portfolio compile result %#x, exact-backend result %#x", gotRet, wantRet)
+	}
+	for i := range wantMem {
+		if gotMem[i] != wantMem[i] {
+			t.Fatalf("portfolio compile sdram[%#x] = %#x, exact %#x", i, gotMem[i], wantMem[i])
+		}
+	}
+}
+
+// TestPortfolioForcedSlowExact injects LP solve latency so the exact
+// members cannot finish inside the budget: the greedy fallback backend
+// must win the race, the result must be honestly unproven (never
+// Optimal), and the packet output must still be bit-identical to the
+// clean exact compile.
+func TestPortfolioForcedSlowExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full compiles of the NAT workload")
+	}
+	_, wantRet, wantMem := natRunComp(t, nil)
+
+	// 3 s of injected latency on every LP solve against a 1.5 s solve
+	// budget: the exact and shuffled members halt with no incumbent.
+	plan, err := fault.Parse("lp/solve_latency@1:*=3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(plan)
+	defer fault.Reset()
+	base := obs.TakeSnapshot()
+	comp, gotRet, gotMem := natRunComp(t, func(o *nova.Options) {
+		o.Alloc.Portfolio = true
+		o.MIP = &mip.Options{Time: 1500 * time.Millisecond}
+	})
+	fault.Reset()
+	d := obs.Since(base)
+	if d["portfolio/winner/greedy"] < 1 {
+		t.Fatalf("portfolio/winner/greedy = %d, want >= 1 (%v)", d["portfolio/winner/greedy"], d)
+	}
+	if comp.Alloc.MIP.Status == mip.Optimal {
+		t.Fatal("greedy-won portfolio claims Optimal; incumbents must keep their honest status")
+	}
+	if !comp.Alloc.Fallback {
+		t.Fatal("greedy-won portfolio compile not flagged as fallback")
+	}
+	if gotRet != wantRet {
+		t.Fatalf("forced-slow portfolio result %#x, exact result %#x", gotRet, wantRet)
+	}
+	for i := range wantMem {
+		if gotMem[i] != wantMem[i] {
+			t.Fatalf("forced-slow portfolio sdram[%#x] = %#x, exact %#x", i, gotMem[i], wantMem[i])
+		}
+	}
+}
