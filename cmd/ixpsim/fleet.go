@@ -24,6 +24,7 @@ var (
 	engines   = flag.Int("engines", ixp.NumEngines, "fleet mode: engines per chip")
 	faultSpec = flag.String("fault", "", "fleet mode: fault plan, e.g. fleet/chip_wedge@200,fleet/fifo_drop~1e-5,seed=7")
 	soak      = flag.Bool("soak", false, "fleet soak: >=2M packets on >=4 chips under the default chip-fault plan")
+	heal      = flag.Bool("heal", false, "fleet mode: re-admit wedged chips after a backoff probe (DESIGN.md §15)")
 )
 
 // soakFaults is the default -soak injection plan: one chip wedges
@@ -73,6 +74,10 @@ func runFleet(name string, payload, threads int) int {
 	fmt.Printf("compiled in %v\n", time.Since(start).Round(time.Millisecond))
 
 	opts := fleet.Options{Chips: chips, Engines: *engines, Threads: threads}
+	if *heal {
+		opts.Heal = &fleet.HealPolicy{} // defaults; see fleet.HealPolicy
+		fmt.Printf("healing: wedged chips re-admitted after backoff probe\n")
+	}
 	gen := pktgen.NewFlowGen(w.Kind, *seed, *flows, payload)
 	fmt.Printf("fleet: %d chips x %d engines x %d threads, %d packets over %d flows (%d B payload)\n",
 		chips, *engines, threads, total, *flows, payload)
@@ -99,8 +104,8 @@ func runFleet(name string, payload, threads int) int {
 	}
 
 	fmt.Printf("\nstatus: %s\n", res.Status)
-	fmt.Printf("  generated %d = delivered %d + dropped %d (unroutable %d); requeued %d, wedges %d\n",
-		res.Generated, res.Delivered, res.Dropped, res.Unroutable, res.Requeued, res.Wedges)
+	fmt.Printf("  generated %d = delivered %d + dropped %d (unroutable %d); requeued %d, wedges %d, heals %d\n",
+		res.Generated, res.Delivered, res.Dropped, res.Unroutable, res.Requeued, res.Wedges, res.Heals)
 	if err := res.Reconcile(); err != nil {
 		fmt.Fprintf(os.Stderr, "RECONCILE FAILED: %v\n", err)
 		return 1

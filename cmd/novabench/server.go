@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -61,28 +62,54 @@ func tierStats(workload, tier string, ms []float64) serverTierStats {
 	}
 }
 
+// Retry schedule for 429 (queue full): jittered exponential backoff so
+// concurrent clients don't re-collide on the same instant. The reported
+// latency covers only the attempt that succeeded — backoff time is the
+// client's choice, not the server's.
+const (
+	retryAttempts = 8
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
+var retryRand = rand.New(rand.NewSource(1))
+
 // postTimed posts v to url, decodes the response into out, and
-// returns the client-observed latency.
+// returns the client-observed latency of the successful attempt. A 429
+// (server queue full) is retried with jittered exponential backoff;
+// any other non-200 fails immediately.
 func postTimed(url string, v any, out any) (float64, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, err
 	}
-	start := time.Now()
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retryAttempts-1 {
+			resp.Body.Close()
+			backoff := retryBase << attempt
+			if backoff > retryCap {
+				backoff = retryCap
+			}
+			// Full jitter: sleep a uniform fraction of the window.
+			time.Sleep(time.Duration(retryRand.Int63n(int64(backoff)) + int64(backoff)/2))
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, buf.String())
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond), nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		var buf bytes.Buffer
-		buf.ReadFrom(resp.Body)
-		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, buf.String())
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return 0, err
-	}
-	return float64(time.Since(start)) / float64(time.Millisecond), nil
 }
 
 type serverCompileReply struct {

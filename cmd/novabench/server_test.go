@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPostTimedRetriesOn429: a busy server's queue-full responses are
+// retried with backoff until the request lands; any other error status
+// still fails immediately.
+func TestPostTimedRetriesOn429(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"outcome":"ok"}`))
+	}))
+	defer ts.Close()
+
+	var out struct {
+		Outcome string `json:"outcome"`
+	}
+	if _, err := postTimed(ts.URL, map[string]int{"x": 1}, &out); err != nil {
+		t.Fatalf("postTimed after two 429s: %v", err)
+	}
+	if out.Outcome != "ok" || hits.Load() != 3 {
+		t.Fatalf("outcome %q after %d attempts, want ok after 3", out.Outcome, hits.Load())
+	}
+
+	hits.Store(0)
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer fail.Close()
+	if _, err := postTimed(fail.URL, map[string]int{"x": 1}, &out); err == nil {
+		t.Fatal("postTimed accepted a 400")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 retried %d times, want immediate failure", hits.Load())
+	}
+}

@@ -3,8 +3,12 @@
 // cache in front of the ILP solver (DESIGN.md §12).
 //
 //	novad [-addr :7433] [-workers N] [-queue N] [-cache-entries N]
-//	      [-cache-bytes N] [-solve-timeout 0] [-j N] [-portfolio]
-//	      [-fault plan]
+//	      [-cache-bytes N] [-solve-timeout 0] [-drain-timeout 30s]
+//	      [-j N] [-portfolio] [-fault plan]
+//
+// SIGTERM/SIGINT triggers a graceful drain: the listener closes, new
+// async submissions are refused with 503, queued jobs run to
+// completion (bounded by -drain-timeout), and the process exits 0.
 //
 // Compile requests hit three tiers: an exact output cache keyed by the
 // source text, an exact model cache keyed by the canonicalized ILP's
@@ -37,6 +41,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 512, "max cache entries (model + output tiers)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max cache payload bytes")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for queued async jobs")
 	jflag := flag.Int("j", 0, "ILP tree-search workers per solve (0 = all cores)")
 	portfolio := flag.Bool("portfolio", false, "portfolio solving: race the exact solver against the fallback paths on every request")
 	faultSpec := flag.String("fault", "", "fault plan, e.g. cache/corrupt@1 (see internal/fault)")
@@ -81,9 +86,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "novad: %v\n", err)
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "novad: %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx)
+		// Graceful drain: stop accepting new connections, reject new
+		// async submissions (503), and run every queued job to
+		// completion before exiting 0 — clients polling /jobs/ see
+		// their work finish, not vanish.
+		fmt.Fprintf(os.Stderr, "novad: %v, draining\n", s)
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer hcancel()
+		hs.Shutdown(hctx)
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer dcancel()
+		if err := srv.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "novad: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "novad: drained, exiting")
 	}
 }

@@ -19,6 +19,20 @@
 // Hits are counted per point from the moment the plan is installed,
 // so a given plan and a given hit order reproduce the same failures —
 // probabilistic directives are deterministic too, under the plan seed.
+//
+// Long-running daemons (fleetd) schedule faults on the wall clock
+// instead of hit counts — the chaos-scheduling grammar:
+//
+//	fleet/chip_wedge@t=2s               fire once, on the first hit at/after t=2s
+//	fleet/chip_wedge@t=2s+every=5s      re-fire on the first hit of each 5s period after t=2s
+//	fleet/chip_wedge@t=2s+every=5s+until=20s   same, but the window closes at t=20s
+//	fleet/sram_stall@t=1s+every=2s+v=200       timed directive with payload 200
+//
+// Durations use Go syntax (2s, 500ms). The clock starts at Install, so
+// "t=2s" means two seconds into the run. Timed directives trade the
+// hit-count grammar's exact replayability for wall-clock realism: which
+// hit lands first in a period depends on scheduling, so they are for
+// chaos soaks, not for bit-reproducible regression plans.
 package fault
 
 import (
@@ -29,6 +43,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -59,14 +74,34 @@ type Point struct {
 	hits atomic.Int64
 }
 
-// arming is the per-point trigger state derived from one directive.
-type arming struct {
+// armSpec is the plain (copyable) trigger description parsed from one
+// directive; arming adds the per-install runtime state.
+type armSpec struct {
 	start    int64   // first hit eligible to fire (1-based)
 	count    int64   // number of consecutive eligible hits; -1 = unlimited
 	prob     float64 // when > 0, fire eligible hits with this probability
-	value    float64 // directive payload (=V)
+	value    float64 // directive payload (=V or +v=V)
 	hasValue bool
-	rng      *lockedRand
+
+	// Timed (chaos-schedule) triggers: when timed is set the hit-count
+	// fields above are ignored and the point fires on the wall clock
+	// relative to the Install epoch.
+	timed bool
+	at    time.Duration // window opens this long after Install
+	every time.Duration // re-fire period; 0 = fire exactly once
+	until time.Duration // window closes (0 = never)
+}
+
+// arming is the per-point trigger state derived from one directive at
+// Install time. Each armed point gets its own instance, so the atomics
+// below are never shared between points.
+type arming struct {
+	armSpec
+	rng   *lockedRand
+	epoch time.Time // plan install time, the timed directives' clock zero
+
+	fired      atomic.Bool  // one-shot timed directive already fired
+	lastPeriod atomic.Int64 // highest periodic window index fired (-1 initially)
 }
 
 // lockedRand is a goroutine-safe seeded source shared by a plan's
@@ -128,9 +163,12 @@ func (p *Point) Value() (float64, bool) {
 	}
 	h := p.hits.Add(1)
 	fire := false
-	if a.prob > 0 {
+	switch {
+	case a.timed:
+		fire = a.fireTimed()
+	case a.prob > 0:
 		fire = a.rng.float64() < a.prob
-	} else if h >= a.start {
+	case h >= a.start:
 		fire = a.count < 0 || h < a.start+a.count
 	}
 	if !fire {
@@ -141,18 +179,45 @@ func (p *Point) Value() (float64, bool) {
 	return a.value, true
 }
 
+// fireTimed evaluates a wall-clock directive: the first hit at/after
+// the window opening fires, then (with +every) the first hit of each
+// subsequent period, until the window closes.
+func (a *arming) fireTimed() bool {
+	el := time.Since(a.epoch)
+	if el < a.at || (a.until > 0 && el >= a.until) {
+		return false
+	}
+	if a.every <= 0 {
+		return a.fired.CompareAndSwap(false, true)
+	}
+	period := int64((el - a.at) / a.every)
+	for {
+		last := a.lastPeriod.Load()
+		if period <= last {
+			return false
+		}
+		if a.lastPeriod.CompareAndSwap(last, period) {
+			return true
+		}
+	}
+}
+
 // directive is one parsed plan entry.
 type directive struct {
 	point string
-	arm   arming
+	spec  armSpec
 }
 
-// Plan is a parsed set of injection directives. Install arms it;
-// plans themselves are immutable after Parse.
+// Plan is a parsed set of injection directives. Install arms it; the
+// parsed directives are immutable after Parse (Install attaches the
+// run's RNG and clock epoch).
 type Plan struct {
 	directives []directive
 	seed       int64
 	spec       string
+
+	rng   *lockedRand // set at Install
+	epoch time.Time   // set at Install: timed directives' clock zero
 }
 
 // String returns the spec the plan was parsed from.
@@ -165,12 +230,14 @@ func (p *Plan) String() string {
 
 // armingFor returns a fresh arming for the named point, or nil when
 // the plan does not mention it. Probabilistic directives share the
-// plan's seeded RNG so one seed reproduces the whole run.
+// plan's seeded RNG so one seed reproduces the whole run; timed
+// directives share the plan's Install epoch.
 func (p *Plan) armingFor(name string) *arming {
 	for i := range p.directives {
 		if p.directives[i].point == name {
-			a := p.directives[i].arm
-			return &a
+			a := &arming{armSpec: p.directives[i].spec, rng: p.rng, epoch: p.epoch}
+			a.lastPeriod.Store(-1)
+			return a
 		}
 	}
 	return nil
@@ -198,13 +265,27 @@ func Parse(spec string) (*Plan, error) {
 			plan.seed = n
 			continue
 		}
-		d := directive{arm: arming{start: 1, count: 1}}
+		d := directive{spec: armSpec{start: 1, count: 1}}
+		if at := strings.Index(part, "@t="); at >= 0 {
+			ts, err := parseTimed(part[at+1:])
+			if err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, part)
+			}
+			d.spec = *ts
+			part = part[:at]
+			if part == "" {
+				return nil, fmt.Errorf("fault: directive with no point name in %q", spec)
+			}
+			d.point = part
+			plan.directives = append(plan.directives, d)
+			continue
+		}
 		if at := strings.IndexByte(part, '='); at >= 0 {
 			v, err := strconv.ParseFloat(part[at+1:], 64)
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad value in %q", part)
 			}
-			d.arm.value, d.arm.hasValue = v, true
+			d.spec.value, d.spec.hasValue = v, true
 			part = part[:at]
 		}
 		switch {
@@ -214,7 +295,7 @@ func Parse(spec string) (*Plan, error) {
 			if err != nil || pr <= 0 || pr > 1 {
 				return nil, fmt.Errorf("fault: bad probability in %q", part)
 			}
-			d.arm.prob = pr
+			d.spec.prob = pr
 			part = part[:at]
 		case strings.ContainsRune(part, '@'):
 			at := strings.IndexByte(part, '@')
@@ -228,15 +309,15 @@ func Parse(spec string) (*Plan, error) {
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("fault: bad hit number in %q", part)
 			}
-			d.arm.start = n
+			d.spec.start = n
 			if count == "*" {
-				d.arm.count = -1
+				d.spec.count = -1
 			} else {
 				c, err := strconv.ParseInt(count, 10, 64)
 				if err != nil || c < 1 {
 					return nil, fmt.Errorf("fault: bad fire count in %q", part)
 				}
-				d.arm.count = c
+				d.spec.count = c
 			}
 		}
 		if part == "" {
@@ -251,19 +332,58 @@ func Parse(spec string) (*Plan, error) {
 	return plan, nil
 }
 
+// parseTimed parses the chaos-schedule trigger "t=DUR[+every=DUR]
+// [+until=DUR][+v=FLOAT]" (the text after '@' in a timed directive).
+func parseTimed(trig string) (*armSpec, error) {
+	s := &armSpec{timed: true}
+	for _, field := range strings.Split(trig, "+") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad timed field %q", field)
+		}
+		if key == "v" {
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad timed payload %q", field)
+			}
+			s.value, s.hasValue = v, true
+			continue
+		}
+		dur, err := time.ParseDuration(val)
+		if err != nil || dur < 0 {
+			return nil, fmt.Errorf("bad duration in %q", field)
+		}
+		switch key {
+		case "t":
+			s.at = dur
+		case "every":
+			if dur == 0 {
+				return nil, fmt.Errorf("bad duration in %q", field)
+			}
+			s.every = dur
+		case "until":
+			s.until = dur
+		default:
+			return nil, fmt.Errorf("unknown timed field %q", field)
+		}
+	}
+	if s.until > 0 && s.until <= s.at {
+		return nil, fmt.Errorf("empty window: until=%v <= t=%v", s.until, s.at)
+	}
+	return s, nil
+}
+
 // Install arms the plan: every registered point named by a directive
-// starts counting hits from zero, and points created later are armed
-// on registration. Install(nil) is equivalent to Reset. Concurrent
-// solves observe the switch atomically per point.
+// starts counting hits from zero, timed directives start their clock
+// now, and points created later are armed on registration. Install(nil)
+// is equivalent to Reset. Concurrent solves observe the switch
+// atomically per point.
 func Install(plan *Plan) {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	rng := (*lockedRand)(nil)
 	if plan != nil {
-		rng = &lockedRand{r: rand.New(rand.NewSource(plan.seed))}
-		for i := range plan.directives {
-			plan.directives[i].arm.rng = rng
-		}
+		plan.rng = &lockedRand{r: rand.New(rand.NewSource(plan.seed))}
+		plan.epoch = time.Now()
 	}
 	registry.plan = plan
 	for name, p := range registry.points {

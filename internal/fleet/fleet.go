@@ -78,6 +78,23 @@ type Options struct {
 	RingCap     int         // RX/TX ring capacity (default 1024)
 	BatchBudget int64       // cycle budget per batch (default 200M)
 	Config      *ixp.Config // base machine config (default DefaultConfig sized for the workloads)
+
+	// Heal enables chip re-admission after a wedge (DESIGN.md §15):
+	// wedged chips are probed back and rejoin the alive set. nil keeps
+	// §13's drain-forever behavior.
+	Heal *HealPolicy
+
+	// Idle turns Run into a poll-mode daemon when non-nil: a nil packet
+	// from the source means "none ready right now" and Idle decides —
+	// true keeps the run alive (heals apply, requeues re-route, partial
+	// batches flush, then the source is polled again), false ends the
+	// stream. Idle may block briefly to pace the poll.
+	Idle func() bool
+
+	// Live, when non-nil, is a ledger Run updates continuously for
+	// outside observers (build with NewLive(Chips)); pass a fresh one
+	// per Run.
+	Live *Live
 }
 
 // Normalize fills in the documented defaults for unset fields.
@@ -150,8 +167,10 @@ type ChipResult struct {
 	Batches  int64     // simulator batches run
 	Dropped  int64     // packets lost to fleet/fifo_drop at this chip's RX
 	Requeued int64     // packets handed back for re-sharding at wedge time
-	Wedged   bool      // chip died mid-run and was drained
-	WedgeErr error     // attributed *ixp.RunError when the wedge came from the simulator
+	Wedges   int64     // times this chip wedged (heal cycles included)
+	Heals    int64     // times this chip was re-admitted (Options.Heal)
+	Wedged   bool      // chip was dead (drained, not re-admitted) at run end
+	WedgeErr error     // attributed *ixp.RunError from the most recent wedge
 	Stats    ixp.Stats // summed over this chip's batches (Cycles = total chip-cycles)
 }
 
@@ -166,7 +185,9 @@ type Result struct {
 	Dropped    int64 // packets lost (fifo_drop faults + unroutable)
 	Unroutable int64 // subset of Dropped: no alive chip remained
 	Requeued   int64 // packets re-sharded off wedged chips
-	Wedges     int64 // chips that wedged during the run
+	Wedges     int64 // chip wedges during the run (heal cycles included)
+	Heals      int64 // successful chip re-admissions (Options.Heal)
+	Probes     int64 // re-admission probe attempts (Options.Heal)
 	Chips      []ChipResult
 	Agg        ixp.Stats // field-wise sum of Chips[i].Stats
 
@@ -192,12 +213,14 @@ func (r *Result) Reconcile() error {
 			r.Generated, r.Delivered, r.Dropped)
 	}
 	var sum ixp.Stats
-	var packets, drops, requeued int64
+	var packets, drops, requeued, wedges, heals int64
 	for i := range r.Chips {
 		addStats(&sum, &r.Chips[i].Stats)
 		packets += r.Chips[i].Packets
 		drops += r.Chips[i].Dropped
 		requeued += r.Chips[i].Requeued
+		wedges += r.Chips[i].Wedges
+		heals += r.Chips[i].Heals
 	}
 	if !StatsEqual(&sum, &r.Agg) {
 		return fmt.Errorf("fleet: aggregate stats %+v != per-chip sum %+v", r.Agg, sum)
@@ -211,6 +234,15 @@ func (r *Result) Reconcile() error {
 	}
 	if requeued != r.Requeued {
 		return fmt.Errorf("fleet: per-chip requeues %d != requeued %d", requeued, r.Requeued)
+	}
+	if wedges != r.Wedges {
+		return fmt.Errorf("fleet: per-chip wedges %d != wedges %d", wedges, r.Wedges)
+	}
+	if heals != r.Heals {
+		return fmt.Errorf("fleet: per-chip heals %d != heals %d", heals, r.Heals)
+	}
+	if r.Heals > r.Probes {
+		return fmt.Errorf("fleet: %d heals > %d probes", r.Heals, r.Probes)
 	}
 	var fp int64
 	for _, n := range r.FlowPackets {
@@ -269,6 +301,9 @@ type runState struct {
 	w *Workload
 	o Options
 
+	// rx/tx are the dispatcher's view of the rings; workers hold their
+	// own ring pointers, so the dispatcher may swap a dead chip's slots
+	// on re-admission (heal.go) without racing anyone.
 	rx      []*ring[*pktgen.Packet]
 	tx      []*ring[txRec]
 	alive   []atomic.Bool
@@ -276,20 +311,33 @@ type runState struct {
 	nAlive  atomic.Int64
 	requeue chan *pktgen.Packet
 
-	delivered atomic.Int64
-	dropped   atomic.Int64
+	// live is the continuously updated ledger (caller's Options.Live or
+	// a private one); delivered/dropped/generated all live there.
+	live *Live
 
 	chips []ChipResult
 	cc    []chipCounters
 
 	// Dispatcher-owned routing state.
-	generated  int64
-	requeued   int64
-	unroutable int64
-	lastChip   map[uint64]int
-	resharded  map[uint64]bool
+	generated   int64
+	requeued    int64
+	unroutable  int64
+	heals       int64
+	idleFlushed bool
+	lastChip    map[uint64]int
+	resharded   map[uint64]bool
 
-	wg, awg sync.WaitGroup
+	// Re-admission plumbing (nil wedgeEvents/readmits when Options.Heal
+	// is unset). done closes when the dispatcher finishes; newTX carries
+	// TX-ring swaps to the aggregator.
+	done        chan struct{}
+	wedgeEvents chan int
+	readmits    chan readmitCmd
+	newTX       chan txSwap
+	healPolicy  HealPolicy
+	hs          *healState
+
+	wg, awg, hwg sync.WaitGroup
 
 	// Aggregator-owned per-flow accounting.
 	digests map[uint64]uint64
@@ -310,6 +358,13 @@ func Run(w *Workload, src Source, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fleet: nil packet source")
 	}
 	o := opts.Normalize()
+	live := o.Live
+	if live == nil {
+		live = &Live{}
+	}
+	if err := live.init(o.Chips); err != nil {
+		return nil, err
+	}
 	slots := o.Engines * o.Threads
 	s := &runState{
 		w: w, o: o,
@@ -318,12 +373,21 @@ func Run(w *Workload, src Source, opts Options) (*Result, error) {
 		alive:     make([]atomic.Bool, o.Chips),
 		exited:    make([]atomic.Bool, o.Chips),
 		requeue:   make(chan *pktgen.Packet, o.Chips*(o.RingCap+slots)+64),
+		live:      live,
 		chips:     make([]ChipResult, o.Chips),
 		cc:        make([]chipCounters, o.Chips),
 		lastChip:  map[uint64]int{},
 		resharded: map[uint64]bool{},
+		done:      make(chan struct{}),
+		newTX:     make(chan txSwap, o.Chips),
 		digests:   map[uint64]uint64{},
 		fpkts:     map[uint64]int64{},
+	}
+	if o.Heal != nil {
+		s.healPolicy = o.Heal.normalize()
+		s.hs = newHealState(o.Chips, s.healPolicy.Seed)
+		s.wedgeEvents = make(chan int, o.Chips)
+		s.readmits = make(chan readmitCmd, o.Chips)
 	}
 	for i := 0; i < o.Chips; i++ {
 		s.rx[i] = newRing[*pktgen.Packet](o.RingCap)
@@ -340,24 +404,48 @@ func Run(w *Workload, src Source, opts Options) (*Result, error) {
 	}
 	s.nAlive.Store(int64(o.Chips))
 	gAlive.Set(int64(o.Chips))
+	gAvail.Set(1000)
 
 	start := time.Now()
 	s.awg.Add(1)
 	go s.aggregator()
 	for i := 0; i < o.Chips; i++ {
 		s.wg.Add(1)
-		go s.worker(i)
+		go s.worker(i, nil, s.rx[i], s.tx[i])
+	}
+	if s.readmits != nil {
+		s.hwg.Add(1)
+		go s.healer()
 	}
 	s.dispatch(src)
+	// Shutdown order: stop the heal machinery first (a probe completing
+	// after the RX rings closed would re-admit a chip nobody feeds),
+	// discard late re-admissions, then release the aggregator's swap
+	// stream and join everyone.
+	close(s.done)
+	s.hwg.Wait()
+	if s.readmits != nil {
+	discard:
+		for {
+			select {
+			case <-s.readmits:
+			default:
+				break discard
+			}
+		}
+	}
+	close(s.newTX)
 	s.wg.Wait()
 	s.awg.Wait()
 
 	res := &Result{
 		Generated:   s.generated,
-		Delivered:   s.delivered.Load(),
-		Dropped:     s.dropped.Load(),
+		Delivered:   s.live.Delivered.Load(),
+		Dropped:     s.live.Dropped.Load(),
 		Unroutable:  s.unroutable,
 		Requeued:    s.requeued,
+		Heals:       s.heals,
+		Probes:      s.live.Probes.Load(),
 		Chips:       s.chips,
 		FlowDigests: s.digests,
 		FlowPackets: s.fpkts,
@@ -366,9 +454,7 @@ func Run(w *Workload, src Source, opts Options) (*Result, error) {
 	}
 	for i := range s.chips {
 		addStats(&res.Agg, &s.chips[i].Stats)
-		if s.chips[i].Wedged {
-			res.Wedges++
-		}
+		res.Wedges += s.chips[i].Wedges
 	}
 	if res.Wedges > 0 || res.Dropped > 0 {
 		res.Status = StatusDegraded
@@ -394,8 +480,10 @@ func (s *runState) route(p *pktgen.Packet) {
 	for {
 		ci := Shard(p.Flow, s.aliveList())
 		if ci < 0 {
+			// Full outage: drop honestly rather than park the packet on a
+			// heal that may never come (probes can keep failing).
 			s.unroutable++
-			s.dropped.Add(1)
+			s.live.Dropped.Add(1)
 			cDropped.Inc()
 			return
 		}
@@ -423,6 +511,7 @@ func (s *runState) drainRequeue() bool {
 		select {
 		case p := <-s.requeue:
 			s.requeued++
+			s.live.Requeued.Add(1)
 			cRequeued.Inc()
 			s.route(p)
 			moved = true
@@ -447,6 +536,7 @@ func (s *runState) drainRequeue() bool {
 				continue
 			}
 			s.requeued++
+			s.live.Requeued.Add(1)
 			cRequeued.Inc()
 			s.chips[ci].Requeued++
 			s.route(p)
@@ -467,19 +557,34 @@ func (s *runState) flushAlive() {
 
 // dispatch generates, routes, and accounts the whole stream, then
 // closes the RX rings once every packet is resolved (delivered or
-// dropped) so workers flush and exit.
+// dropped) so workers flush and exit. With Options.Idle set the stream
+// may pause: nil packets trigger a housekeeping tick instead of ending
+// the run, until Idle reports the stream is truly over.
 func (s *runState) dispatch(src Source) {
-	for p := src(); p != nil; p = src() {
+	for {
+		p := src()
+		if p == nil {
+			if s.o.Idle != nil && s.idleTick() {
+				continue
+			}
+			break
+		}
+		s.idleFlushed = false
 		s.generated++
+		s.live.Generated.Add(1)
 		cGenerated.Inc()
 		s.route(p)
+		if s.processHeals() {
+			s.flushAlive()
+		}
 		if s.generated%1024 == 0 {
 			s.drainRequeue()
 		}
 	}
 	s.flushAlive()
-	for s.delivered.Load()+s.dropped.Load() < s.generated {
-		if s.drainRequeue() {
+	for s.live.Delivered.Load()+s.live.Dropped.Load() < s.generated {
+		healed := s.processHeals()
+		if s.drainRequeue() || healed {
 			s.flushAlive()
 		}
 		runtime.Gosched()
@@ -489,36 +594,63 @@ func (s *runState) dispatch(src Source) {
 	}
 }
 
+// idleTick runs dispatcher housekeeping while a daemon source has no
+// packet ready: apply pending re-admissions, re-route requeued work,
+// and flush partial batches so admitted packets never wait on future
+// arrivals. Returns Idle()'s verdict — false means end of stream.
+func (s *runState) idleTick() bool {
+	healed := s.processHeals()
+	moved := s.drainRequeue()
+	if healed || moved || !s.idleFlushed {
+		s.flushAlive()
+		s.idleFlushed = true
+	}
+	return s.o.Idle()
+}
+
 // worker runs one chip: collect full batches off the RX ring, simulate
 // them, push per-packet output records to the TX ring. A flush marker
 // (or ring close) runs the partial batch; a wedge drains and exits.
-func (s *runState) worker(ci int) {
+// The rings arrive as parameters (not via s.rx/s.tx) because the
+// dispatcher replaces a dead chip's slots on re-admission; chip is
+// non-nil when a probe already built it (heal.go).
+func (s *runState) worker(ci int, chip *ixp.Chip, rx *ring[*pktgen.Packet], tx *ring[txRec]) {
 	defer s.wg.Done()
 	defer s.exited[ci].Store(true)
-	defer s.tx[ci].close()
-	chip := ixp.NewChip(s.o.MachineConfig(), s.o.Engines)
-	chip.SetID(ci)
-	if s.w.Init != nil {
-		s.w.Init(chip)
+	defer tx.close()
+	if chip == nil {
+		chip = ixp.NewChip(s.o.MachineConfig(), s.o.Engines)
+		chip.SetID(ci)
+		if s.w.Init != nil {
+			s.w.Init(chip)
+		}
 	}
 	slots := s.o.Engines * s.o.Threads
 	batch := make([]*pktgen.Packet, 0, slots)
 	cr := &s.chips[ci]
+	spins := 0
 	for {
-		p, ok, closed := s.rx[ci].tryPop()
+		p, ok, closed := rx.tryPop()
 		if !ok {
 			if closed {
-				if len(batch) > 0 && !s.runBatch(ci, chip, cr, batch) {
+				if len(batch) > 0 && !s.runBatch(ci, chip, cr, batch, rx, tx) {
 					return
 				}
 				return
 			}
-			runtime.Gosched()
+			// Back off once the ring stays empty: a daemon fleet idles
+			// between bursts and must not spin whole cores.
+			if spins++; spins > 256 {
+				time.Sleep(50 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
 			continue
 		}
+		spins = 0
 		if p == flushPacket {
 			if len(batch) > 0 {
-				if !s.runBatch(ci, chip, cr, batch) {
+				if !s.runBatch(ci, chip, cr, batch, rx, tx) {
 					return
 				}
 				batch = batch[:0]
@@ -528,13 +660,13 @@ func (s *runState) worker(ci int) {
 		if pFIFODrop.Fire() {
 			cr.Dropped++
 			s.cc[ci].drops.Inc()
-			s.dropped.Add(1)
+			s.live.Dropped.Add(1)
 			cDropped.Inc()
 			continue
 		}
 		batch = append(batch, p)
 		if len(batch) == slots {
-			if !s.runBatch(ci, chip, cr, batch) {
+			if !s.runBatch(ci, chip, cr, batch, rx, tx) {
 				return
 			}
 			batch = batch[:0]
@@ -546,9 +678,9 @@ func (s *runState) worker(ci int) {
 // chip wedged (injected or a real simulator failure): the batch and
 // the chip's remaining queue have been handed back for re-sharding and
 // the worker must exit.
-func (s *runState) runBatch(ci int, chip *ixp.Chip, cr *ChipResult, batch []*pktgen.Packet) bool {
+func (s *runState) runBatch(ci int, chip *ixp.Chip, cr *ChipResult, batch []*pktgen.Packet, rx *ring[*pktgen.Packet], tx *ring[txRec]) bool {
 	if pChipWedge.Fire() {
-		s.wedge(ci, cr, batch, nil)
+		s.wedge(ci, cr, batch, rx, nil)
 		return false
 	}
 	restore := func() {}
@@ -571,25 +703,26 @@ func (s *runState) runBatch(ci int, chip *ixp.Chip, cr *ChipResult, batch []*pkt
 		args := s.w.Stage(chip, i, p)
 		if err := chip.Engines[i/s.o.Threads].SetArgs(i%s.o.Threads, s.w.EntryRegs, args); err != nil {
 			restore()
-			s.wedge(ci, cr, batch, err)
+			s.wedge(ci, cr, batch, rx, err)
 			return false
 		}
 	}
 	st, err := chip.Run(s.o.BatchBudget)
 	restore()
 	if err != nil {
-		s.wedge(ci, cr, batch, err)
+		s.wedge(ci, cr, batch, rx, err)
 		return false
 	}
 	// Slots are staged contiguously in engine-major order, which is
 	// exactly the order Chip.Run collects halt results in.
 	if len(st.Results) != len(batch) {
-		s.wedge(ci, cr, batch, fmt.Errorf("%d results for %d staged packets", len(st.Results), len(batch)))
+		s.wedge(ci, cr, batch, rx, fmt.Errorf("%d results for %d staged packets", len(st.Results), len(batch)))
 		return false
 	}
 	addStats(&cr.Stats, st)
 	cr.Batches++
 	cr.Packets += int64(len(batch))
+	s.live.ChipBatches[ci].Add(1)
 	s.cc[ci].batches.Inc()
 	s.cc[ci].packets.Add(int64(len(batch)))
 	s.cc[ci].cycles.Add(st.Cycles)
@@ -597,22 +730,28 @@ func (s *runState) runBatch(ci int, chip *ixp.Chip, cr *ChipResult, batch []*pkt
 	cCycles.Add(st.Cycles)
 	for i, p := range batch {
 		d := s.w.Collect(chip, i, p, st.Results[i])
-		s.tx[ci].push(txRec{flow: p.Flow, seq: p.Seq, digest: d}, nil)
-		s.delivered.Add(1)
+		tx.push(txRec{flow: p.Flow, seq: p.Seq, digest: d}, nil)
+		s.live.Delivered.Add(1)
 		cDelivered.Inc()
 	}
 	return true
 }
 
-// wedge marks the chip dead and hands its unprocessed work (the
-// in-flight batch plus whatever its RX ring holds) back to the
-// dispatcher for re-sharding. The requeue channel is sized for the
-// worst case, so this never blocks.
-func (s *runState) wedge(ci int, cr *ChipResult, batch []*pktgen.Packet, err error) {
+// wedge marks the chip dead, hands its unprocessed work (the in-flight
+// batch plus whatever its RX ring holds) back to the dispatcher for
+// re-sharding, and — when healing is on — posts the wedge event for the
+// healer. The requeue channel is sized for the worst case, so this
+// never blocks.
+func (s *runState) wedge(ci int, cr *ChipResult, batch []*pktgen.Packet, rx *ring[*pktgen.Packet], err error) {
 	s.alive[ci].Store(false)
-	gAlive.Set(s.nAlive.Add(-1))
+	n := s.nAlive.Add(-1)
+	gAlive.Set(n)
+	s.live.Alive.Store(n)
+	gAvail.Set(1000 * n / int64(s.o.Chips))
 	cr.Wedged = true
+	cr.Wedges++
 	cr.WedgeErr = err
+	s.live.Wedges.Add(1)
 	s.cc[ci].wedged.Inc()
 	cWedges.Inc()
 	for _, p := range batch {
@@ -620,7 +759,7 @@ func (s *runState) wedge(ci int, cr *ChipResult, batch []*pktgen.Packet, err err
 		s.requeue <- p
 	}
 	for {
-		p, ok, _ := s.rx[ci].tryPop()
+		p, ok, _ := rx.tryPop()
 		if !ok {
 			break
 		}
@@ -630,18 +769,71 @@ func (s *runState) wedge(ci int, cr *ChipResult, batch []*pktgen.Packet, err err
 		cr.Requeued++
 		s.requeue <- p
 	}
+	if s.wedgeEvents != nil {
+		// Capacity is Chips and a chip cannot wedge again before its
+		// re-admission consumed the prior event, so this never drops.
+		select {
+		case s.wedgeEvents <- ci:
+		default:
+		}
+	}
 }
 
 // aggregator folds every chip's TX records into the per-flow digests.
 // The combine is an order-independent sum, so digests compare equal
-// across any N and any re-sharding history.
+// across any N and any re-sharding/heal history. It keeps a private
+// copy of the ring set and absorbs replacement rings from newTX as
+// chips are re-admitted, draining each retired ring to completion
+// first so no delivered record is lost.
 func (s *runState) aggregator() {
 	defer s.awg.Done()
-	open := len(s.tx)
-	done := make([]bool, len(s.tx))
-	for open > 0 {
-		progress := false
-		for ci, r := range s.tx {
+	rings := append([]*ring[txRec](nil), s.tx...)
+	done := make([]bool, len(rings))
+	open := len(rings)
+	swapsOpen := true
+	fold := func(rec txRec) {
+		s.digests[rec.flow] += mix64(rec.digest ^ mix64(uint64(rec.seq)+0x51ed270b))
+		s.fpkts[rec.flow]++
+	}
+	absorb := func() bool {
+		moved := false
+		for swapsOpen {
+			select {
+			case sw, ok := <-s.newTX:
+				if !ok {
+					swapsOpen = false
+					continue
+				}
+				// The retired ring is closed and fully pushed — the swap
+				// is sent only after the dispatcher saw the worker exit,
+				// and the worker closes its TX ring before that flag.
+				for {
+					rec, ok2, closed := rings[sw.ci].tryPop()
+					if ok2 {
+						fold(rec)
+						continue
+					}
+					if closed {
+						break
+					}
+					runtime.Gosched()
+				}
+				if done[sw.ci] {
+					done[sw.ci] = false
+					open++
+				}
+				rings[sw.ci] = sw.r
+				moved = true
+			default:
+				return moved
+			}
+		}
+		return moved
+	}
+	spins := 0
+	for open > 0 || swapsOpen {
+		progress := absorb()
+		for ci, r := range rings {
 			if done[ci] {
 				continue
 			}
@@ -649,8 +841,7 @@ func (s *runState) aggregator() {
 				rec, ok, closed := r.tryPop()
 				if ok {
 					progress = true
-					s.digests[rec.flow] += mix64(rec.digest ^ mix64(uint64(rec.seq)+0x51ed270b))
-					s.fpkts[rec.flow]++
+					fold(rec)
 					continue
 				}
 				if closed {
@@ -660,7 +851,11 @@ func (s *runState) aggregator() {
 				break
 			}
 		}
-		if !progress {
+		if progress {
+			spins = 0
+		} else if spins++; spins > 256 {
+			time.Sleep(50 * time.Microsecond)
+		} else {
 			runtime.Gosched()
 		}
 	}

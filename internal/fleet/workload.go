@@ -63,9 +63,26 @@ const (
 	natSlotStride = 0x800   // fits the 512-chunk payload cap
 )
 
+// sumSource is the synthetic soak kernel ("sum"): a few memory
+// references and ALU ops per packet, so chaos soaks can push tens of
+// millions of packets through the fleet machinery in seconds instead
+// of paying crypto-benchmark simulation cost per packet.
+const sumSource = `
+fun main(base: word, x: word) -> word {
+  let (a0, a1) = sdram[2](base);
+  let (t0, t1) = sram[2](base);
+  let s = a0 + a1 + x + t0 + t1;
+  sdram(base) <- (s, a0 ^ a1);
+  s
+}`
+
+// Per-slot SDRAM stride for the sum workload: 2 staged words + 2
+// written words fit comfortably in 16.
+const sumSlotStride = 0x10
+
 // Compile builds one of the paper's benchmark workloads (aes, kasumi,
-// nat) into a fleet-ready adapter. mo overrides the ILP solver options
-// (nil = 4-minute default).
+// nat) or the synthetic soak kernel (sum) into a fleet-ready adapter.
+// mo overrides the ILP solver options (nil = 4-minute default).
 func Compile(name string, mo *mip.Options) (*Workload, error) {
 	var src string
 	w := &Workload{Name: strings.ToLower(name)}
@@ -79,8 +96,11 @@ func Compile(name string, mo *mip.Options) (*Workload, error) {
 	case "nat":
 		src = workloads.NATSource
 		w.Kind = pktgen.KindIPv6
+	case "sum":
+		src = sumSource
+		w.Kind = pktgen.KindIPv6
 	default:
-		return nil, fmt.Errorf("fleet: unknown workload %q (want aes, kasumi, or nat)", name)
+		return nil, fmt.Errorf("fleet: unknown workload %q (want aes, kasumi, nat, or sum)", name)
 	}
 	opts := nova.DefaultOptions()
 	if mo != nil {
@@ -122,6 +142,16 @@ func Compile(name string, mo *mip.Options) (*Workload, error) {
 			dst4 := natDstBase + slot*natSlotStride
 			out := chip.SDRAM()[dst4 : dst4+6+2*int(natChunks(p))]
 			return Digest(Digest(DigestSeed, out), results)
+		}
+	case "sum":
+		w.Stage = func(chip *ixp.Chip, slot int, p *pktgen.Packet) []uint32 {
+			base := uint32(tcpSlotBase + slot*sumSlotStride)
+			copy(chip.SDRAM()[base:], p.Words[:2])
+			return []uint32{base, p.Words[2]}
+		}
+		w.Collect = func(chip *ixp.Chip, slot int, p *pktgen.Packet, results []uint32) uint64 {
+			base := tcpSlotBase + slot*sumSlotStride
+			return Digest(Digest(DigestSeed, chip.SDRAM()[base:base+2]), results)
 		}
 	}
 	return w, nil

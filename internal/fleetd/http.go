@@ -1,0 +1,87 @@
+package fleetd
+
+// fleetd's HTTP surface, mounted beside the same debug endpoints novad
+// serves (internal/server's JSON conventions):
+//
+//	GET  /healthz         liveness probe
+//	GET  /status          live fleet ledger (JSON)
+//	POST /shutdown        begin the graceful drain (202)
+//	GET  /debug/counters  obs counter dump (text)
+//	GET  /debug/pprof/    net/http/pprof profiles
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Status is the /status response body: the daemon's live ledger.
+type Status struct {
+	Uptime    string `json:"uptime"`
+	Draining  bool   `json:"draining"`
+	Chips     int    `json:"chips"`
+	Alive     int64  `json:"alive"`
+	Offered   int64  `json:"offered"`
+	Admitted  int64  `json:"admitted"`
+	Shed      int64  `json:"shed"`
+	Generated int64  `json:"generated"`
+	Delivered int64  `json:"delivered"`
+	Dropped   int64  `json:"dropped"`
+	InFlight  int64  `json:"in_flight"`
+	Wedges    int64  `json:"wedges"`
+	Heals     int64  `json:"heals"`
+	Probes    int64  `json:"probes"`
+}
+
+// status samples the live ledger. Individual fields are exact; the set
+// is not one consistent snapshot (see the auditor's read disciplines).
+func (d *Daemon) status() Status {
+	return Status{
+		Uptime:    time.Since(d.start).Round(time.Millisecond).String(),
+		Draining:  d.draining.Load(),
+		Chips:     d.cfg.Fleet.Chips,
+		Alive:     d.live.Alive.Load(),
+		Offered:   d.offered.Load(),
+		Admitted:  d.admitted.Load(),
+		Shed:      d.shed.Load(),
+		Generated: d.live.Generated.Load(),
+		Delivered: d.live.Delivered.Load(),
+		Dropped:   d.live.Dropped.Load(),
+		InFlight:  d.live.InFlight(),
+		Wedges:    d.live.Wedges.Load(),
+		Heals:     d.live.Heals.Load(),
+		Probes:    d.live.Probes.Load(),
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		server.WriteJSON(w, http.StatusOK, d.status())
+	})
+	mux.HandleFunc("POST /shutdown", func(w http.ResponseWriter, _ *http.Request) {
+		d.Shutdown()
+		server.WriteJSON(w, http.StatusAccepted, map[string]string{"state": "draining"})
+	})
+	mux.HandleFunc("GET /debug/counters", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap := obs.TakeSnapshot()
+		for _, name := range snap.Names() {
+			fmt.Fprintf(w, "%s %d\n", name, snap[name])
+		}
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}

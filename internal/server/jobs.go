@@ -101,6 +101,7 @@ func (s *Server) jobWorker() {
 }
 
 func (s *Server) runJob(j *job) {
+	defer s.pending.Add(-1)
 	j.mu.Lock()
 	if j.state != "queued" { // cancelled while waiting
 		j.mu.Unlock()
@@ -130,16 +131,16 @@ func (s *Server) runJob(j *job) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		WriteError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, jobStatus(j))
+	WriteJSON(w, http.StatusOK, jobStatus(j))
 }
 
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		WriteError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	j.cancel()
@@ -148,5 +149,5 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 		j.state = "cancelled"
 	}
 	j.mu.Unlock()
-	writeJSON(w, http.StatusOK, jobStatus(j))
+	WriteJSON(w, http.StatusOK, jobStatus(j))
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +63,10 @@ type Server struct {
 	jobs  *jobTable
 	queue chan *job
 	stop  chan struct{}
+
+	draining  atomic.Bool  // Drain called: reject new async work
+	pending   atomic.Int64 // queued + running async jobs
+	closeOnce sync.Once
 }
 
 // New builds a Server and starts its async workers. Call Close to
@@ -113,10 +118,36 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler to serve.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the async workers. In-flight jobs are cancelled.
+// Close stops the async workers. In-flight jobs are cancelled. Safe to
+// call more than once (Drain closes internally; deferred Closes stack).
 func (s *Server) Close() {
-	close(s.stop)
-	s.jobs.cancelAll()
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.jobs.cancelAll()
+	})
+}
+
+// Drain gracefully shuts the async pipeline down: new async
+// submissions are rejected (503) from this call on, and Drain waits
+// until every queued and running job has finished or ctx expires,
+// then stops the workers. It returns nil when the queue emptied and
+// the abandonment count wrapped in an error otherwise — callers decide
+// whether an incomplete drain still exits 0.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for s.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			n := s.pending.Load()
+			s.Close()
+			return fmt.Errorf("server: drain abandoned %d jobs: %w", n, ctx.Err())
+		case <-t.C:
+		}
+	}
+	s.Close()
+	return nil
 }
 
 // CompileRequest is the /compile request body.
@@ -156,7 +187,10 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as an indented JSON response with the given
+// status code. Shared by the other daemons (fleetd) so every HTTP
+// surface in the repo speaks the same wire shape.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -164,9 +198,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+// WriteError writes the standard {"error": ...} body with the given
+// status code and counts it under server/errors.
+func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
 	cErrors.Inc()
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	WriteJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // sourceKey is the output-tier cache key: everything that determines
@@ -215,11 +251,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	cRequests.Inc()
 	var req CompileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, "empty source")
+		WriteError(w, http.StatusBadRequest, "empty source")
 		return
 	}
 	if req.Name == "" {
@@ -229,14 +265,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		req.Entry = "main"
 	}
 	if req.Async {
+		if s.draining.Load() {
+			WriteError(w, http.StatusServiceUnavailable, "server draining; not accepting new jobs")
+			return
+		}
 		j := s.jobs.add(&req)
+		s.pending.Add(1)
 		select {
 		case s.queue <- j:
-			writeJSON(w, http.StatusAccepted, jobStatus(j))
+			WriteJSON(w, http.StatusAccepted, jobStatus(j))
 		default:
+			s.pending.Add(-1)
 			cQueueFull.Inc()
 			s.jobs.remove(j.id)
-			writeError(w, http.StatusTooManyRequests, "job queue full (%d deep)", cap(s.queue))
+			WriteError(w, http.StatusTooManyRequests, "job queue full (%d deep)", cap(s.queue))
 		}
 		return
 	}
@@ -246,10 +288,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			cCancelled.Inc()
 			return // client is gone; nothing useful to write
 		}
-		writeError(w, code, "%v", err)
+		WriteError(w, code, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // compile runs one request through the tiers: output cache, then the

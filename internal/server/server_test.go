@@ -425,3 +425,68 @@ func TestHealthAndCounters(t *testing.T) {
 		t.Fatalf("counter dump missing server/requests:\n%s", buf.String())
 	}
 }
+
+// TestDrainCompletesQueuedJobs: Drain lets queued and running async
+// jobs finish, rejects new submissions with 503, and returns nil when
+// the queue empties inside the deadline.
+func TestDrainCompletesQueuedJobs(t *testing.T) {
+	plan, err := fault.Parse("lp/solve_latency=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(plan)
+	defer fault.Reset()
+
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	req := CompileRequest{Name: "tiny.nova", Source: tinySource, Workers: 1, Async: true}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		var st JobStatus
+		if code := postJSON(t, ts.URL+"/compile", req, &st); code != http.StatusAccepted {
+			t.Fatalf("job %d: HTTP %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Drain(ctx) }()
+
+	// New async work is rejected once the draining flag lands; a submit
+	// racing the flag may still be accepted, in which case the drain
+	// must finish it too.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st JobStatus
+		code := postJSON(t, ts.URL+"/compile", req, &st)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if code == http.StatusAccepted {
+			ids = append(ids, st.ID)
+		} else {
+			t.Fatalf("submit during drain: HTTP %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting submissions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := <-errCh; err != nil {
+		t.Fatalf("drain did not empty the queue: %v", err)
+	}
+	for _, id := range ids {
+		r, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if st.State != "done" {
+			t.Fatalf("job %s drained into state %q, want done", id, st.State)
+		}
+	}
+}

@@ -64,11 +64,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	cRequests.Inc()
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Cols) == 0 {
-		writeError(w, http.StatusBadRequest, "no columns")
+		WriteError(w, http.StatusBadRequest, "no columns")
 		return
 	}
 	p := lp.NewProblem()
@@ -79,12 +79,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, row := range req.Rows {
 		if len(row.Cols) != len(row.Vals) {
-			writeError(w, http.StatusBadRequest, "row %d: cols/vals length mismatch", i)
+			WriteError(w, http.StatusBadRequest, "row %d: cols/vals length mismatch", i)
 			return
 		}
 		for _, j := range row.Cols {
 			if j < 0 || j >= len(req.Cols) {
-				writeError(w, http.StatusBadRequest, "row %d: column %d out of range", i, j)
+				WriteError(w, http.StatusBadRequest, "row %d: column %d out of range", i, j)
 				return
 			}
 		}
@@ -127,7 +127,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				cCancelled.Inc()
 				return
 			}
-			writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+			WriteError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 			return
 		}
 		if res.Status == mip.Optimal {
@@ -143,5 +143,5 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp.Structural = hook.Structural
 	resp.Exact = hook.Exact
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
